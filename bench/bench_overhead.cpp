@@ -1,0 +1,57 @@
+// Experiment E1 (§4.1): memory-overhead accounting.
+//
+// The paper's claims:
+//   * LW: 16,384 pure compute cycles; with read/write overhead the total is
+//     19,471, i.e. the overhead is below 16 %;
+//   * the 512-multiplier high-speed design: 128 pure cycles, 213 with the
+//     memory overhead (39 %);
+//   * LW achieves better overhead than HS because it reads and writes while
+//     computing and never needs an explicit result readout.
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "common/rng.hpp"
+#include "multipliers/hw_multiplier.hpp"
+
+using namespace saber;
+
+int main() {
+  Xoshiro256StarStar rng(1);
+  const auto a = ring::Poly::random(rng, 13);
+  const auto s = ring::SecretPoly::random(rng, 4);
+
+  analysis::TextTable t({"Design", "Compute", "Preload", "Stall(pub)", "Stall(sec)",
+                         "Stall(acc)", "Readout", "Total", "Overhead"});
+  struct Row {
+    const char* name;
+    const char* paper;
+  };
+  const Row designs[] = {
+      {"lw4", "paper: 16384 pure, 19471 total, <16%"},
+      {"hs1-256", "paper: 256 pure"},
+      {"hs1-512", "paper: 128 pure, 213 total, 39%"},
+      {"hs2", "paper: 131 pure"},
+      {"baseline-256", "paper: 256 pure"},
+      {"baseline-512", "paper: 128 pure, 213 total, 39%"},
+  };
+  for (const auto& d : designs) {
+    auto arch = arch::make_architecture(d.name);
+    const auto st = arch->multiply(a, s).cycles;
+    t.add_row({d.name, analysis::TextTable::num(st.compute + st.pipeline),
+               analysis::TextTable::num(st.preload),
+               analysis::TextTable::num(st.stall_public_load),
+               analysis::TextTable::num(st.stall_secret_load),
+               analysis::TextTable::num(st.stall_accumulator),
+               analysis::TextTable::num(st.readout),
+               analysis::TextTable::num(st.total),
+               analysis::TextTable::num(100.0 * st.overhead_fraction(), 1) + "%"});
+  }
+  std::cout << "E1 — memory-overhead breakdown per multiplication (§4.1)\n\n"
+            << t.to_string() << "\n";
+  std::cout << "Paper reference points:\n";
+  for (const auto& d : designs) std::cout << "  " << d.name << ": " << d.paper << "\n";
+  std::cout << "\nNote: HS Table-1 headline numbers exclude the overhead because in\n"
+               "Saber's inner products the accumulator stays resident (MAC mode);\n"
+               "LW's headline includes it because its accumulator lives in memory.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Experiment E-power (§5): the lightweight multiplier's power argument.
+//
+// The paper measures 0.106 W on an Artix-7 (0.048 W dynamic) and attributes
+// the logic's share to almost nothing: "the power consumption of the logic is
+// only 0.001 W" — because the design toggles very few flip-flops and
+// minimizes memory read/writes. Absolute watts cannot be produced by a C++
+// model; this bench reports the quantities that drive dynamic power instead:
+// flip-flop population, register toggles, memory accesses and DSP operations
+// per multiplication, plus a weighted activity score, for every architecture.
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "common/rng.hpp"
+#include "multipliers/hw_multiplier.hpp"
+
+using namespace saber;
+
+int main() {
+  Xoshiro256StarStar rng(77);
+  const auto a = ring::Poly::random(rng, 13);
+  const auto s = ring::SecretPoly::random(rng, 4);
+
+  analysis::TextTable t({"Design", "FF bits", "FF toggles", "BRAM R", "BRAM W",
+                         "DSP ops", "activity", "activity/cycle"});
+  struct Entry {
+    std::string name;
+    double per_cycle;
+  };
+  std::vector<Entry> entries;
+  for (const char* name : {"lw4", "lw8", "lw16", "hs1-256", "hs1-512", "hs2",
+                           "baseline-256", "baseline-512", "ntt-hw", "karatsuba-hw"}) {
+    auto arch = arch::make_architecture(name);
+    const auto res = arch->multiply(a, s);
+    const double per_cycle =
+        res.power.activity_score() / static_cast<double>(res.cycles.total);
+    entries.push_back({name, per_cycle});
+    t.add_row({name, analysis::TextTable::num(res.power.ff_bits),
+               analysis::TextTable::num(res.power.ff_toggles),
+               analysis::TextTable::num(res.power.bram_reads),
+               analysis::TextTable::num(res.power.bram_writes),
+               analysis::TextTable::num(res.power.dsp_ops),
+               analysis::TextTable::num(res.power.activity_score(), 0),
+               analysis::TextTable::num(per_cycle, 0)});
+  }
+  std::cout << "E-power — activity proxies per full multiplication (§5)\n\n"
+            << t.to_string() << "\n";
+
+  // The power-relevant ordering: LW toggles orders of magnitude fewer
+  // register bits per cycle than any high-speed design.
+  const auto lw = entries.front().per_cycle;
+  std::cout << "activity-per-cycle ratios vs LW-4 (proxy for dynamic power):\n";
+  for (const auto& e : entries) {
+    std::cout << "  " << e.name << ": " << analysis::TextTable::num(e.per_cycle / lw, 1)
+              << "x\n";
+  }
+  std::cout << "\nPaper reference: LW on Artix-7 consumes 0.106 W total, 0.048 W\n"
+               "dynamic, of which 89% drives IO pins and only ~0.001 W is logic —\n"
+               "absolute watts are outside a C++ model; the per-cycle activity\n"
+               "ordering above is the reproducible part of that claim.\n";
+  return 0;
+}

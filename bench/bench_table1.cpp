@@ -1,0 +1,27 @@
+// Experiment T1 (+E3, E4, F1-F4): regenerate Table 1 of the paper from the
+// cycle-accurate architecture models and the structural area model, print the
+// §5.2 derived claims, and dump the per-architecture component inventories
+// (the textual equivalent of Figures 1-4). Pass --structure to print only
+// the inventories.
+#include <cstring>
+#include <iostream>
+
+#include "analysis/csv.hpp"
+#include "analysis/table1.hpp"
+
+int main(int argc, char** argv) {
+  const bool structure_only = argc > 1 && std::strcmp(argv[1], "--structure") == 0;
+  if (argc > 1 && std::strcmp(argv[1], "--csv") == 0) {
+    std::cout << saber::analysis::table1_csv(saber::analysis::build_table1());
+    std::cout << "\n" << saber::analysis::design_space_csv();
+    return 0;
+  }
+  if (!structure_only) {
+    const auto rows = saber::analysis::build_table1();
+    std::cout << saber::analysis::render_table1(rows) << "\n";
+    std::cout << saber::analysis::render_claims(rows) << "\n";
+    std::cout << saber::analysis::render_time_domain() << "\n";
+  }
+  std::cout << saber::analysis::render_structures();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Experiment E2 (§4.2): lightweight-multiplier area/performance trade-offs.
+//
+// The paper: increasing the MAC count to 8 or 16 "would only have minor
+// consequences on the LUT requirements but would drastically reduce the
+// cycle count to about a half or a quarter", at the cost of widening the
+// accumulator path (a retention buffer plus banked BRAMs in this model).
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "common/rng.hpp"
+#include "multipliers/hw_multiplier.hpp"
+
+using namespace saber;
+
+int main() {
+  Xoshiro256StarStar rng(7);
+  const auto a = ring::Poly::random(rng, 13);
+  const auto s = ring::SecretPoly::random(rng, 4);
+
+  analysis::TextTable t({"MACs", "Cycles", "vs LW-4", "Compute", "Overhead", "LUT",
+                         "FF", "BRAM banks", "Activity/mult"});
+  const u64 base = arch::make_architecture("lw4")->headline_cycles();
+  for (const unsigned macs : {4u, 8u, 16u}) {
+    const std::string name = "lw" + std::to_string(macs);
+    auto arch = arch::make_architecture(name);
+    const auto res = arch->multiply(a, s);
+    const auto area = arch->area().total();
+    t.add_row({name, analysis::TextTable::num(res.cycles.total),
+               analysis::TextTable::num(static_cast<double>(base) /
+                                            static_cast<double>(res.cycles.total),
+                                        2) +
+                   "x",
+               analysis::TextTable::num(res.cycles.compute),
+               analysis::TextTable::num(100.0 * res.cycles.overhead_fraction(), 1) + "%",
+               analysis::TextTable::num(area.lut), analysis::TextTable::num(area.ff),
+               analysis::TextTable::num(u64{macs / 4}),
+               analysis::TextTable::num(res.power.activity_score(), 0)});
+  }
+  std::cout << "E2 — LW MAC-count trade-offs (§4.2)\n\n" << t.to_string() << "\n";
+  std::cout << "Paper: 8/16 MACs -> about 1/2 and 1/4 of the 4-MAC cycle count,\n"
+               "minor LUT increase; requires buffering part of the accumulator or\n"
+               "more BRAM bandwidth (both modeled: retention buffer + banking).\n";
+  return 0;
+}

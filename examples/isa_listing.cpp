@@ -1,0 +1,31 @@
+// Print the coprocessor instruction sequences of the Saber KEM operations —
+// the programs the integration tests execute byte-identically to the
+// software implementation.
+//
+//   isa_listing [LightSaber|Saber|FireSaber]
+#include <iostream>
+
+#include "coproc/programs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace saber;
+  const std::string param = argc > 1 ? argv[1] : "Saber";
+  const kem::SaberParams* params = nullptr;
+  for (const auto& p : kem::kAllParams) {
+    if (p.name == param) params = &p;
+  }
+  if (params == nullptr) {
+    std::cerr << "unknown parameter set '" << param << "'\n";
+    return 2;
+  }
+  const coproc::SaberLayout layout(*params);
+  std::cout << param << " coprocessor programs (data memory: "
+            << layout.total_bytes << " bytes)\n\n";
+  std::cout << "== KEM key generation ==\n"
+            << coproc::disassemble(coproc::kem_keygen_program(layout)) << "\n";
+  std::cout << "== KEM encapsulation ==\n"
+            << coproc::disassemble(coproc::kem_encaps_program(layout)) << "\n";
+  std::cout << "== KEM decapsulation ==\n"
+            << coproc::disassemble(coproc::kem_decaps_program(layout)) << "\n";
+  return 0;
+}

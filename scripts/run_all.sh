@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every experiment output of the reproduction.
+# Results land in test_output.txt / bench_output.txt at the repository root,
+# plus table1.csv for external plotting.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    echo "===================================================================="
+    echo "== $b"
+    echo "===================================================================="
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+./build/bench/bench_table1 --csv > table1.csv
+echo "Wrote test_output.txt, bench_output.txt, table1.csv"

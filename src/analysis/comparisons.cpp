@@ -1,0 +1,77 @@
+#include "analysis/comparisons.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "analysis/table.hpp"
+#include "common/rng.hpp"
+#include "multipliers/hw_multiplier.hpp"
+#include "mult/strategy.hpp"
+
+namespace saber::analysis {
+
+std::string render_lightweight_comparison() {
+  const auto lw = arch::make_architecture("lw4");
+  const auto area = lw->area().total();
+
+  TextTable t({"Implementation", "Platform", "Cycles/mult", "Clock(MHz)", "Notes"});
+  t.add_row({"LW (this work, measured)", "Artix-7 (model)",
+             TextTable::num(lw->headline_cycles()),
+             "100",
+             std::to_string(area.lut) + " LUT / " + std::to_string(area.ff) + " FF"});
+  // Literature rows as quoted in §5.1 of the paper.
+  t.add_row({"[6] Mera et al. (Toom-Cook, derived)", "ARM Cortex-M4", "~35000", "-",
+             "317k cycles per matrix-vector (l=3)"});
+  t.add_row({"[14] Chung et al. (NTT, derived)", "ARM Cortex-M4", "~19000", "24",
+             "57k cycles per inner product"});
+  t.add_row({"[9] RISQ-V (NTT coprocessor)", "RISC-V + accel.", "71349", "-",
+             "RISC-V processor cycles (HW clock unknown)"});
+  // Our model of a dedicated NTT core (the [9]/[14] technique in hardware),
+  // for design-space context: fast, but DSP/BRAM-bound.
+  {
+    const auto ntt = arch::make_architecture("ntt-hw");
+    const auto na = ntt->area().total();
+    t.add_row({"dedicated NTT core (our model)", "FPGA (model)",
+               TextTable::num(ntt->headline_cycles()), "-",
+               std::to_string(na.lut) + " LUT + " + std::to_string(na.dsp) +
+                   " DSP + " + std::to_string(na.bram) + " BRAM"});
+  }
+
+  std::ostringstream os;
+  os << "§5.1 — lightweight multiplier vs software implementations\n"
+     << "(literature rows are quoted from the paper; ours is measured):\n\n"
+     << t.to_string()
+     << "\nShape check: LW cycle count is comparable to the best software NTT\n"
+        "result [14] while using <7% of the LUTs of the smallest Artix-7 part\n"
+        "(541 of 8000 on XC7A12T) — the paper's §5.1 conclusion.\n";
+  return os.str();
+}
+
+std::string render_algorithm_ops() {
+  Xoshiro256StarStar rng(55);
+  const auto a = ring::Poly::random(rng, 13);
+  const auto b = ring::Poly::random(rng, 13);
+
+  TextTable t({"Algorithm", "coeff mults", "coeff adds", "us/mult (host)"});
+  for (const auto name : mult::multiplier_names()) {
+    const auto algo = mult::make_multiplier(name);
+    algo->multiply(a, b, 13);  // warm-up + count one multiplication
+    const auto ops = algo->ops();
+    const int reps = 50;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) algo->multiply(a, b, 13);
+    const auto dt = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count() /
+                    reps;
+    t.add_row({std::string(name), TextTable::num(ops.coeff_mults),
+               TextTable::num(ops.coeff_adds), TextTable::num(dt, 1)});
+  }
+  std::ostringstream os;
+  os << "Software multiplication algorithms, one 256-coefficient negacyclic\n"
+        "multiplication (operation counts from instrumented implementations):\n\n"
+     << t.to_string();
+  return os.str();
+}
+
+}  // namespace saber::analysis

@@ -1,0 +1,20 @@
+// §5.1 comparisons (experiment E5): the lightweight multiplier against
+// software and co-processor implementations, plus algorithm-level operation
+// counts for the software multiplication strategies.
+#pragma once
+
+#include <string>
+
+namespace saber::analysis {
+
+/// Software/coprocessor comparison table: our LW cycles (measured) next to
+/// the literature numbers the paper quotes ([6] M4 Toom-Cook, [14] M4 NTT,
+/// RISQ-V [9]), with the area/power context of §5.1.
+std::string render_lightweight_comparison();
+
+/// Operation counts of the software multiplication algorithms for one
+/// 256-coefficient multiplication, with the wall-clock measured on this host
+/// (complements bench_sw_mult's google-benchmark timings).
+std::string render_algorithm_ops();
+
+}  // namespace saber::analysis

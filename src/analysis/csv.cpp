@@ -1,0 +1,48 @@
+#include "analysis/csv.hpp"
+
+#include <sstream>
+
+#include "multipliers/hw_multiplier.hpp"
+
+namespace saber::analysis {
+
+namespace {
+
+std::string opt(const std::optional<u64>& v) {
+  return v ? std::to_string(*v) : std::string();
+}
+
+}  // namespace
+
+std::string table1_csv(const std::vector<Table1Row>& rows) {
+  std::ostringstream os;
+  os << "design,fpga,cycles,paper_cycles,lut,paper_lut,ff,paper_ff,dsp,paper_dsp,"
+        "source\n";
+  for (const auto& r : rows) {
+    std::string design = r.design;
+    for (auto& ch : design) {
+      if (ch == ',') ch = ';';
+    }
+    os << design << ',' << r.fpga << ',' << r.cycles << ',' << opt(r.paper_cycles)
+       << ',' << r.lut << ',' << opt(r.paper_lut) << ',' << r.ff << ','
+       << opt(r.paper_ff) << ',' << r.dsp << ',' << opt(r.paper_dsp) << ','
+       << (r.measured ? "measured" : "reported") << '\n';
+  }
+  return os.str();
+}
+
+std::string design_space_csv() {
+  std::ostringstream os;
+  os << "design,cycles,lut,ff,dsp,bram,logic_depth\n";
+  for (const char* name : {"lw4", "lw8", "lw16", "hs1-256", "hs1-512", "hs2",
+                           "hs2-wide", "baseline-256", "baseline-512", "karatsuba-hw",
+                           "ntt-hw"}) {
+    const auto arch = arch::make_architecture(name);
+    const auto a = arch->area().total();
+    os << arch->name() << ',' << arch->headline_cycles() << ',' << a.lut << ','
+       << a.ff << ',' << a.dsp << ',' << a.bram << ',' << arch->logic_depth() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace saber::analysis

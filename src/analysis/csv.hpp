@@ -1,0 +1,19 @@
+// CSV export of the reproduction data, for plotting outside the repository
+// (the paper's tables as machine-readable series).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/table1.hpp"
+
+namespace saber::analysis {
+
+/// Table 1 as CSV: design,fpga,cycles,paper_cycles,lut,paper_lut,ff,paper_ff,
+/// dsp,paper_dsp,source. Missing paper values are empty fields.
+std::string table1_csv(const std::vector<Table1Row>& rows);
+
+/// The design-space sweep (cycles vs area for every architecture) as CSV.
+std::string design_space_csv();
+
+}  // namespace saber::analysis

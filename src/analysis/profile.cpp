@@ -1,0 +1,95 @@
+#include "analysis/profile.hpp"
+
+#include <sstream>
+
+#include "analysis/table.hpp"
+#include "common/rng.hpp"
+
+namespace saber::analysis {
+
+namespace {
+
+constexpr u64 kCyclesPerPermutation = 45;  // 24 rounds + rate words over the bus
+constexpr u64 kShake128Rate = 168;
+constexpr u64 kSha3Rate = 136;
+constexpr unsigned kCoeffsPerSampleCycle = 4;
+
+u64 perms(u64 bytes, u64 rate) { return ceil_div(bytes, rate); }
+
+/// Multiplication cycles for one output polynomial computed as an l-term
+/// inner product in MAC mode: every term pays operand loading + compute, the
+/// readout is paid once (LW's result lives in memory, so its "readout" is
+/// the per-pass drain already inside the term count).
+u64 product_row_cycles(const hw::CycleStats& one, std::size_t terms, bool lw) {
+  if (lw) return terms * one.total;
+  return terms * (one.total - one.readout) + one.readout;
+}
+
+}  // namespace
+
+KemProfile profile_kem(const kem::SaberParams& params, arch::HwMultiplier& mult) {
+  const std::size_t l = params.l;
+  const auto n = kem::SaberParams::n;
+
+  // One measured multiplication (schedules are data-independent).
+  Xoshiro256StarStar rng(2021);
+  const auto a = ring::Poly::random(rng, kem::SaberParams::eq);
+  const auto s = ring::SecretPoly::random(rng, 4);
+  const auto one = mult.multiply(a, s).cycles;
+  const bool lw = mult.headline_includes_overhead();
+
+  const u64 mv = static_cast<u64>(l) * product_row_cycles(one, l, lw);  // A*s
+  const u64 ip = product_row_cycles(one, l, lw);                        // b^T s
+
+  // Hash workloads (bytes) per KEM operation.
+  const u64 gen_a = perms(l * l * n * kem::SaberParams::eq / 8, kShake128Rate);
+  const u64 gen_s = perms(l * n * params.mu / 8, kShake128Rate);
+  const u64 h_pk = perms(params.pk_bytes(), kSha3Rate);
+  const u64 h_ct = perms(params.ct_bytes(), kSha3Rate);
+  const u64 h_small = 1;  // 32/64-byte inputs: single permutation
+
+  // Data movement: words copied for rounding/packing of the vectors involved.
+  const u64 poly_words = 52;
+  const u64 vec_words = static_cast<u64>(l) * poly_words;
+
+  KemProfile p;
+  p.keygen.mult = mv;
+  p.keygen.hash = (gen_a + gen_s + h_pk) * kCyclesPerPermutation;
+  p.keygen.sampling = l * n / kCoeffsPerSampleCycle;
+  p.keygen.data_movement = 3 * vec_words;  // round b, pack pk, store s
+
+  p.encaps.mult = mv + ip;
+  p.encaps.hash =
+      (gen_a + gen_s + h_pk + h_ct + 3 * h_small) * kCyclesPerPermutation;
+  p.encaps.sampling = l * n / kCoeffsPerSampleCycle;
+  p.encaps.data_movement = 3 * vec_words + 2 * poly_words;  // b', cm, unpack pk
+
+  p.decaps.mult = mv + 2 * ip;  // decrypt + full re-encryption
+  p.decaps.hash = (gen_a + gen_s + h_ct + 2 * h_small) * kCyclesPerPermutation;
+  p.decaps.sampling = l * n / kCoeffsPerSampleCycle;
+  p.decaps.data_movement = 4 * vec_words + 3 * poly_words;  // + ciphertext compare
+
+  return p;
+}
+
+std::string render_profile(const kem::SaberParams& params, const KemProfile& p,
+                           std::string_view arch_name) {
+  TextTable t({"Phase", "Mult", "Hash", "Sampling", "Data", "Total", "Mult share"});
+  auto row = [&](const char* name, const PhaseCycles& ph) {
+    t.add_row({name, TextTable::num(ph.mult), TextTable::num(ph.hash),
+               TextTable::num(ph.sampling), TextTable::num(ph.data_movement),
+               TextTable::num(ph.total()),
+               TextTable::num(100.0 * ph.mult_share(), 1) + "%"});
+  };
+  row("KeyGen", p.keygen);
+  row("Encaps", p.encaps);
+  row("Decaps", p.decaps);
+  std::ostringstream os;
+  os << params.name << " KEM cycle profile on " << arch_name << ":\n"
+     << t.to_string() << "overall multiplication share: "
+     << TextTable::num(100.0 * p.mult_share(), 1)
+     << "%  (paper §1: \"up to 56%\" for the [10]-class coprocessor)\n";
+  return os.str();
+}
+
+}  // namespace saber::analysis

@@ -1,0 +1,56 @@
+// Coprocessor-level cycle model of the full Saber KEM (experiment E6):
+// reproduces the paper's motivating claim that polynomial multiplication
+// takes "up to 56 % of the overall computation time" on a [10]-style
+// instruction-set coprocessor (§1/§2), and shows how the share shifts with
+// each multiplier architecture.
+//
+// Model constants (documented, deliberately simple):
+//  * multiplications: matrix-vector = l*l terms, inner product = l terms;
+//    each term costs the architecture's measured cycles minus the final
+//    readout, which is paid once per output polynomial (MAC mode, §5);
+//  * Keccak-f[1600]: 45 cycles per permutation (24 rounds + moving rate bytes
+//    over the 64-bit bus), SHAKE-128 rate 168 B, SHA3-256 rate 136 B;
+//  * binomial sampling: 4 coefficients per cycle from buffered SHAKE output;
+//  * data movement: one cycle per 64-bit word for each polynomial copied
+//    between memory regions (pack/round/store steps).
+#pragma once
+
+#include <string>
+
+#include "multipliers/hw_multiplier.hpp"
+#include "saber/params.hpp"
+
+namespace saber::analysis {
+
+struct PhaseCycles {
+  u64 mult = 0;
+  u64 hash = 0;
+  u64 sampling = 0;
+  u64 data_movement = 0;
+
+  u64 total() const { return mult + hash + sampling + data_movement; }
+  double mult_share() const {
+    return total() == 0 ? 0.0 : static_cast<double>(mult) / static_cast<double>(total());
+  }
+};
+
+struct KemProfile {
+  PhaseCycles keygen;
+  PhaseCycles encaps;
+  PhaseCycles decaps;
+
+  u64 total() const { return keygen.total() + encaps.total() + decaps.total(); }
+  double mult_share() const {
+    return static_cast<double>(keygen.mult + encaps.mult + decaps.mult) /
+           static_cast<double>(total());
+  }
+};
+
+/// Build the profile for one parameter set on one multiplier architecture.
+KemProfile profile_kem(const kem::SaberParams& params, arch::HwMultiplier& mult);
+
+/// Render keygen/encaps/decaps breakdowns and multiplication shares.
+std::string render_profile(const kem::SaberParams& params, const KemProfile& p,
+                           std::string_view arch_name);
+
+}  // namespace saber::analysis

@@ -1,0 +1,56 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace saber::analysis {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  SABER_REQUIRE(cells.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto line = [&](const std::vector<std::string>& cells, char fill) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::setfill(fill);
+      // First column left-aligned (names), the rest right-aligned (numbers).
+      if (c == 0) {
+        os << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+      } else {
+        os << std::right << std::setw(static_cast<int>(widths[c])) << cells[c];
+      }
+      os << std::setfill(' ') << " |";
+    }
+    os << '\n';
+  };
+  line(header_, ' ');
+  std::vector<std::string> sep(header_.size());
+  line(sep, '-');
+  for (const auto& row : rows_) line(row, ' ');
+  return os.str();
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::num(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace saber::analysis

@@ -1,0 +1,28 @@
+// Minimal text-table renderer used by the benchmark harnesses to print the
+// paper's tables (ASCII, right-aligned numeric columns).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace saber::analysis {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column widths fitted to content.
+  std::string to_string() const;
+
+  static std::string num(double v, int precision = 0);
+  static std::string num(std::uint64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace saber::analysis

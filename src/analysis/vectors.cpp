@@ -1,0 +1,65 @@
+#include "analysis/vectors.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "multipliers/hw_multiplier.hpp"
+#include "ring/packing.hpp"
+#include "common/hex.hpp"
+#include "sha3/sha3.hpp"
+
+namespace saber::analysis {
+
+std::string render_vectors(std::string_view arch_name, u64 seed) {
+  Xoshiro256StarStar rng(seed);
+  const auto a = ring::Poly::random(rng, 13);
+  const auto s = ring::SecretPoly::random(rng, 4);
+
+  auto arch = arch::make_architecture(arch_name);
+  arch->enable_memory_trace();
+  const auto res = arch->multiply(a, s);
+
+  std::ostringstream os;
+  os << "# saber-multipliers golden vectors\n";
+  os << "# architecture: " << arch->name() << "\n";
+  os << "# seed: " << seed << "\n";
+  os << "# cycles: total=" << res.cycles.total << " compute=" << res.cycles.compute
+     << " overhead=" << res.cycles.overhead() << "\n";
+  os << "# memory map: public @" << arch::MemoryMap::kPublicBase << " secret @"
+     << arch::MemoryMap::kSecretBase << " result @" << arch::MemoryMap::kAccBase
+     << " (64-bit words)\n";
+
+  auto hex_words = [&os](const char* tag, std::span<const u64> words) {
+    os << tag;
+    for (const auto w : words) {
+      os << ' ' << std::hex << std::setw(16) << std::setfill('0') << w << std::dec;
+    }
+    os << '\n';
+  };
+  const auto pub_words =
+      ring::pack_words(std::span<const u16>(a.c.data(), a.c.size()), 13);
+  hex_words("PUB", pub_words);
+  hex_words("SEC", ring::pack_secret_words(s, 4));
+
+  for (const auto& acc : res.mem_trace) {
+    os << "TRACE " << acc.cycle << ' '
+       << (acc.kind == hw::Bram64::Access::Kind::kRead ? 'R' : 'W') << ' ' << acc.addr
+       << '\n';
+  }
+
+  const auto out_words =
+      ring::pack_words(std::span<const u16>(res.product.c.data(), res.product.c.size()),
+                       13);
+  hex_words("RES", out_words);
+  return os.str();
+}
+
+std::string vectors_digest(std::string_view arch_name, u64 seed) {
+  const auto text = render_vectors(arch_name, seed);
+  const auto digest = sha3::Sha3_256::hash(
+      std::span(reinterpret_cast<const u8*>(text.data()), text.size()));
+  return to_hex(digest);
+}
+
+}  // namespace saber::analysis

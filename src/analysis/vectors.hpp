@@ -1,0 +1,28 @@
+// Golden test-vector generation for RTL verification.
+//
+// A hardware team reimplementing the paper's multipliers in Verilog needs
+// stimulus/response vectors: the memory image before the run, the exact
+// per-cycle read/write address schedule, and the expected memory image after
+// the run. This module renders them in a stable text format; the regression
+// tests freeze their digests so the vectors cannot drift silently.
+#pragma once
+
+#include <string>
+
+#include "common/bits.hpp"
+
+namespace saber::analysis {
+
+/// Render the golden vectors of one multiplication on the named architecture
+/// (operands derived deterministically from `seed`). Format:
+///   # header lines (architecture, seed, cycle counts)
+///   PUB <52 hex words> / SEC <16 hex words>
+///   TRACE <cycle> R|W <addr>   (one line per memory access)
+///   RES <52 hex words>
+std::string render_vectors(std::string_view arch_name, u64 seed);
+
+/// SHA3-256 digest (hex) of render_vectors output — the frozen regression
+/// anchor.
+std::string vectors_digest(std::string_view arch_name, u64 seed);
+
+}  // namespace saber::analysis

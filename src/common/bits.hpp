@@ -1,0 +1,76 @@
+// Bit-manipulation helpers shared by the arithmetic and hardware-model layers.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+#include "common/check.hpp"
+
+namespace saber {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Mask with the low `bits` bits set. `bits` must be <= 64.
+constexpr u64 mask64(unsigned bits) {
+  SABER_REQUIRE(bits <= 64, "mask width out of range");
+  return bits == 64 ? ~u64{0} : (u64{1} << bits) - 1;
+}
+
+/// Reduce `v` modulo 2^bits.
+constexpr u64 low_bits(u64 v, unsigned bits) { return v & mask64(bits); }
+
+/// Extract bit field v[hi:lo] (inclusive, Verilog-style). hi < 64, hi >= lo.
+constexpr u64 bit_field(u64 v, unsigned hi, unsigned lo) {
+  SABER_REQUIRE(hi < 64 && hi >= lo, "bad bit field");
+  return (v >> lo) & mask64(hi - lo + 1);
+}
+
+/// Single bit v[idx] as 0/1.
+constexpr unsigned bit_at(u64 v, unsigned idx) {
+  SABER_REQUIRE(idx < 64, "bit index out of range");
+  return static_cast<unsigned>((v >> idx) & 1u);
+}
+
+/// Sign-extend the low `bits` bits of `v` to a signed 64-bit value.
+constexpr i64 sign_extend(u64 v, unsigned bits) {
+  SABER_REQUIRE(bits >= 1 && bits <= 64, "sign_extend width out of range");
+  if (bits == 64) return static_cast<i64>(v);
+  const u64 m = u64{1} << (bits - 1);
+  const u64 x = v & mask64(bits);
+  return static_cast<i64>((x ^ m)) - static_cast<i64>(m);
+}
+
+/// Two's-complement encoding of a signed value into `bits` bits.
+constexpr u64 to_twos_complement(i64 v, unsigned bits) {
+  SABER_REQUIRE(bits >= 1 && bits <= 64, "width out of range");
+  return static_cast<u64>(v) & mask64(bits);
+}
+
+/// Number of bits needed to represent `v` (0 -> 0).
+constexpr unsigned bit_length(u64 v) { return static_cast<unsigned>(std::bit_width(v)); }
+
+/// Ceiling division for unsigned integral types.
+template <typename T>
+  requires std::is_unsigned_v<T>
+constexpr T ceil_div(T a, T b) {
+  SABER_REQUIRE(b != 0, "division by zero");
+  return static_cast<T>((a + b - 1) / b);
+}
+
+/// Hamming weight of the low `bits` bits.
+constexpr unsigned popcount_low(u64 v, unsigned bits) {
+  return static_cast<unsigned>(std::popcount(low_bits(v, bits)));
+}
+
+/// Parity (XOR of all bits) of `v`.
+constexpr unsigned parity(u64 v) { return static_cast<unsigned>(std::popcount(v)) & 1u; }
+
+}  // namespace saber

@@ -1,0 +1,53 @@
+// Contract-checking helpers.
+//
+// Following the C++ Core Guidelines (I.6/I.8, E.12), preconditions and
+// invariants are checked with explicit macros that throw `ContractViolation`
+// rather than calling std::abort, so that tests can assert on violations
+// (e.g. BRAM port-conflict detection in the hardware model).
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace saber {
+
+/// Thrown when a documented precondition or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const std::string& msg,
+                                       const std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": " << kind << " failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace saber
+
+/// Precondition check: throws saber::ContractViolation when `cond` is false.
+#define SABER_REQUIRE(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::saber::detail::contract_fail("precondition", #cond, (msg),      \
+                                     std::source_location::current());   \
+    }                                                                    \
+  } while (false)
+
+/// Internal-invariant check: throws saber::ContractViolation when false.
+#define SABER_ENSURE(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::saber::detail::contract_fail("invariant", #cond, (msg),         \
+                                     std::source_location::current());   \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,41 @@
+#include "common/hex.hpp"
+
+#include "common/check.hpp"
+
+namespace saber {
+
+namespace {
+constexpr char kDigits[] = "0123456789abcdef";
+
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(std::span<const u8> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (u8 b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::vector<u8> from_hex(std::string_view hex) {
+  SABER_REQUIRE(hex.size() % 2 == 0, "hex string must have even length");
+  std::vector<u8> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    SABER_REQUIRE(hi >= 0 && lo >= 0, "invalid hex character");
+    out.push_back(static_cast<u8>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace saber

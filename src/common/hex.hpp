@@ -1,0 +1,20 @@
+// Hex encoding/decoding, used by tests (known-answer vectors) and examples.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace saber {
+
+/// Lower-case hex encoding of `data`.
+std::string to_hex(std::span<const u8> data);
+
+/// Decode a hex string (case-insensitive). Throws ContractViolation on
+/// malformed input (odd length or non-hex characters).
+std::vector<u8> from_hex(std::string_view hex);
+
+}  // namespace saber

@@ -1,0 +1,77 @@
+#include "common/rng.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace saber {
+
+u64 RandomSource::next_u64() {
+  u8 buf[8];
+  fill(buf);
+  u64 v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | buf[i];
+  return v;
+}
+
+u64 RandomSource::uniform(u64 bound) {
+  SABER_REQUIRE(bound != 0, "uniform bound must be nonzero");
+  // Rejection sampling to avoid modulo bias.
+  const u64 limit = ~u64{0} - (~u64{0} % bound);
+  u64 v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % bound;
+}
+
+i64 RandomSource::uniform_range(i64 lo, i64 hi) {
+  SABER_REQUIRE(lo <= hi, "empty range");
+  const u64 span = static_cast<u64>(hi - lo) + 1;
+  return lo + static_cast<i64>(uniform(span));
+}
+
+namespace {
+
+// SplitMix64: used only to expand a single seed into the xoshiro state.
+u64 splitmix64(u64& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Xoshiro256StarStar::Xoshiro256StarStar(u64 seed) {
+  u64 x = seed;
+  for (auto& s : state_) s = splitmix64(x);
+}
+
+u64 Xoshiro256StarStar::next() {
+  const u64 result = std::rotl(state_[1] * 5, 7) * 9;
+  const u64 t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+void Xoshiro256StarStar::fill(std::span<u8> out) {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    u64 v = next();
+    for (int b = 0; b < 8; ++b) out[i++] = static_cast<u8>(v >> (8 * b));
+  }
+  if (i < out.size()) {
+    u64 v = next();
+    for (; i < out.size(); ++i) {
+      out[i] = static_cast<u8>(v);
+      v >>= 8;
+    }
+  }
+}
+
+}  // namespace saber

@@ -1,0 +1,46 @@
+// Deterministic random sources.
+//
+// All randomness in the library flows through the `RandomSource` interface so
+// tests and benchmarks are reproducible. `Xoshiro256StarStar` is the default
+// engine (seeded via SplitMix64); the KEM layer additionally offers a
+// SHAKE-based DRBG built on top of the sha3 library.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/bits.hpp"
+
+namespace saber {
+
+/// Abstract source of random bytes.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Fill `out` with random bytes.
+  virtual void fill(std::span<u8> out) = 0;
+
+  /// Convenience: one uniformly random 64-bit word.
+  u64 next_u64();
+
+  /// Uniform value in [0, bound). `bound` must be nonzero.
+  u64 uniform(u64 bound);
+
+  /// Uniform signed value in [lo, hi] inclusive.
+  i64 uniform_range(i64 lo, i64 hi);
+};
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, deterministic.
+class Xoshiro256StarStar final : public RandomSource {
+ public:
+  explicit Xoshiro256StarStar(u64 seed = 0x5abe125abe125abeULL);
+
+  void fill(std::span<u8> out) override;
+
+ private:
+  u64 next();
+  u64 state_[4];
+};
+
+}  // namespace saber

@@ -1,0 +1,76 @@
+// The Saber coprocessor model: a byte-addressed data memory, a polynomial
+// multiplier (any HwMultiplier architecture), and fixed-function units,
+// executing ISA programs (isa.hpp) with per-unit cycle accounting.
+//
+// Functional behaviour is exact — executing the keygen/encaps/decaps programs
+// (programs.hpp) produces byte-identical keys, ciphertexts and shared secrets
+// to the pure-software SaberKemScheme, which the integration tests assert.
+#pragma once
+
+#include <string>
+
+#include "coproc/isa.hpp"
+#include "coproc/units.hpp"
+#include "multipliers/hw_multiplier.hpp"
+
+namespace saber::coproc {
+
+/// Per-unit cycle totals for one program run.
+struct CycleLedger {
+  u64 hash = 0;
+  u64 sampler = 0;
+  u64 multiplier = 0;
+  u64 data = 0;      ///< word-stream units (repack, copy, verify, cmov, stores)
+  u64 control = 0;   ///< instruction dispatch
+
+  u64 total() const { return hash + sampler + multiplier + data + control; }
+  double mult_share() const {
+    return total() == 0 ? 0.0
+                        : static_cast<double>(multiplier) / static_cast<double>(total());
+  }
+  CycleLedger& operator+=(const CycleLedger& o) {
+    hash += o.hash;
+    sampler += o.sampler;
+    multiplier += o.multiplier;
+    data += o.data;
+    control += o.control;
+    return *this;
+  }
+  std::string to_string() const;
+};
+
+class Coprocessor {
+ public:
+  /// `mult` is the polynomial-multiplier datapath (not owned); `mem_bytes`
+  /// sizes the data memory.
+  Coprocessor(arch::HwMultiplier& mult, std::size_t mem_bytes,
+              const UnitCosts& costs = {});
+
+  // Host access to the data memory (loading seeds, reading results).
+  void write_bytes(const Region& r, std::span<const u8> data);
+  std::vector<u8> read_bytes(const Region& r) const;
+
+  /// Execute a program; returns the cycle ledger. The `fail` flag is cleared
+  /// at the start of each run.
+  CycleLedger run(const Program& program);
+
+  /// Execute a single instruction (exposed for unit tests).
+  void execute(const Instruction& ins, CycleLedger& ledger);
+
+  bool fail_flag() const { return fail_; }
+  std::size_t memory_bytes() const { return mem_.size(); }
+
+ private:
+  // Region helpers.
+  std::span<const u8> view(const Region& r) const;
+  std::span<u8> view_mut(const Region& r);
+
+  arch::HwMultiplier& mult_;
+  UnitCosts costs_;
+  std::vector<u8> mem_;
+  ring::Poly acc_{};   ///< multiplier accumulator (mod 2^13)
+  bool acc_valid_ = false;
+  bool fail_ = false;
+};
+
+}  // namespace saber::coproc

@@ -1,0 +1,143 @@
+// Instruction set of the Saber coprocessor model.
+//
+// The paper's multipliers are designed as drop-in datapaths for the
+// instruction-set coprocessor of [10] (Roy-Basso, TCHES'20): a data memory
+// shared by a SHA-3/SHAKE core, a binomial sampler, the polynomial
+// multiplier, and word-stream arithmetic units (rounding, packing,
+// verification), driven by an instruction sequencer. This header defines the
+// instruction-level model: each instruction names byte regions of the data
+// memory; the coprocessor executes it functionally and charges cycles from
+// the corresponding unit's cost model (see units.hpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace saber::coproc {
+
+/// A byte region of the coprocessor data memory.
+struct Region {
+  std::size_t addr = 0;   ///< byte offset
+  std::size_t bytes = 0;
+
+  Region sub(std::size_t off, std::size_t len) const { return {addr + off, len}; }
+};
+
+// --- hash unit --------------------------------------------------------------
+
+/// out = SHAKE-128(in), squeezing out.bytes bytes.
+struct OpShake128 {
+  Region in, out;
+};
+
+/// out = SHA3-256(in) (out.bytes must be 32).
+struct OpSha3_256 {
+  Region in, out;
+};
+
+/// out = SHA3-512(in) (out.bytes must be 64).
+struct OpSha3_512 {
+  Region in, out;
+};
+
+// --- sampler ----------------------------------------------------------------
+
+/// Centered-binomial sampling: consumes n*mu bits from `in`, writes one
+/// 4-bit-packed secret polynomial (128 bytes) to `out`.
+struct OpSampleCbd {
+  Region in, out;
+  unsigned mu = 8;
+};
+
+// --- polynomial multiplier ---------------------------------------------------
+
+/// Accumulator += pub * sec over R_q (q = 2^13). `pub` is a 13-bit-packed
+/// polynomial (416 bytes), `sec` a 4-bit-packed secret (128 bytes). When
+/// `first` is set the accumulator is cleared beforehand (start of an inner
+/// product). Executed on the attached HwMultiplier model in MAC mode.
+struct OpPolyMulAcc {
+  Region pub, sec;
+  bool first = false;
+};
+
+/// Round and store the multiplier accumulator:
+/// out[i] = ((acc[i] + add_const) mod 2^in_bits) >> shift, packed to out_bits.
+struct OpStoreAccRound {
+  Region out;
+  u16 add_const = 0;
+  unsigned in_bits = 13;
+  unsigned shift = 0;
+  unsigned out_bits = 13;
+};
+
+/// Ciphertext-message encoding (Saber.PKE.Enc line for cm):
+/// out[i] = ((acc[i] + h1 - 2^(ep-1) m_i) mod 2^ep) >> (ep - et), packed et-bit.
+/// `msg` is the 32-byte message bit-region.
+struct OpStoreAccEncode {
+  Region msg, out;
+  unsigned ep = 10, et = 4;
+  u16 h1 = 4;
+};
+
+/// Message decoding (Saber.PKE.Dec):
+/// m_i = ((acc[i] + h2 - (cm_i << (ep - et))) mod 2^ep) >> (ep - 1), packed 1-bit.
+struct OpStoreAccDecode {
+  Region cm, out;
+  unsigned ep = 10, et = 4;
+  u16 h2 = 0;
+};
+
+// --- word-stream data units ---------------------------------------------------
+
+/// Re-pack a polynomial between coefficient widths (e.g. the 10-bit public
+/// vector into the multiplier's 13-bit operand format).
+struct OpRepack {
+  Region in, out;
+  unsigned in_bits = 10, out_bits = 13;
+};
+
+/// Convert a 4-bit-packed secret into the 13-bit two's-complement secret-key
+/// encoding, or back (direction chosen by widths).
+struct OpRepackSigned {
+  Region in, out;
+  unsigned in_bits = 4, out_bits = 13;
+};
+
+/// Plain copy.
+struct OpCopy {
+  Region src, dst;
+};
+
+/// Constant-time comparison of two regions; the result ORs into the
+/// coprocessor's `fail` flag (used for FO re-encryption verification).
+struct OpVerify {
+  Region a, b;
+};
+
+/// Constant-time conditional move: dst = fail ? src : dst.
+struct OpCMov {
+  Region src, dst;
+};
+
+using Instruction =
+    std::variant<OpShake128, OpSha3_256, OpSha3_512, OpSampleCbd, OpPolyMulAcc,
+                 OpStoreAccRound, OpStoreAccEncode, OpStoreAccDecode, OpRepack,
+                 OpRepackSigned, OpCopy, OpVerify, OpCMov>;
+
+using Program = std::vector<Instruction>;
+
+/// Mnemonic of an instruction (for traces and tests).
+std::string mnemonic(const Instruction& ins);
+
+/// Full textual form of one instruction: mnemonic plus operand regions
+/// (`shake128 [0x40+32] -> [0x80+1664]`).
+std::string disassemble(const Instruction& ins);
+
+/// Listing of a whole program, one numbered instruction per line.
+std::string disassemble(const Program& program);
+
+}  // namespace saber::coproc

@@ -1,0 +1,241 @@
+#include "coproc/programs.hpp"
+
+#include "common/check.hpp"
+#include "ring/packing.hpp"
+
+namespace saber::coproc {
+
+namespace {
+
+constexpr std::size_t kSeed = 32;
+constexpr std::size_t kPolyQ = 416;  // 256 x 13-bit
+constexpr std::size_t kPolyP = 320;  // 256 x 10-bit
+constexpr std::size_t kPoly4 = 128;  // 256 x 4-bit
+
+std::size_t align8(std::size_t v) { return (v + 7) & ~std::size_t{7}; }
+
+}  // namespace
+
+SaberLayout::SaberLayout(const kem::SaberParams& p) : params(p) {
+  std::size_t cursor = 0;
+  auto alloc = [&](std::size_t bytes) {
+    const Region r{cursor, bytes};
+    cursor = align8(cursor + bytes);
+    return r;
+  };
+  const std::size_t l = p.l;
+  seed_a_in = alloc(kSeed);
+  seed_a = alloc(kSeed);
+  seed_s = alloc(kSeed);
+  a_bytes = alloc(l * l * kPolyQ);
+  s_cbd = alloc(l * kem::SaberParams::n * p.mu / 8);
+  s4 = alloc(l * kPoly4);
+  pk = alloc(p.pk_bytes());
+  sk13 = alloc(l * kPolyQ);
+  op13 = alloc(kPolyQ);
+  ct = alloc(p.ct_bytes());
+  msg = alloc(kSeed);
+  hash_pk = alloc(kSeed);
+  z = alloc(kSeed);
+  m_raw = alloc(kSeed);
+  m = alloc(kSeed);
+  buf = alloc(2 * kSeed);
+  kr = alloc(2 * kSeed);
+  key = alloc(kSeed);
+  ct2 = alloc(p.ct_bytes());
+  m_prime = alloc(kSeed);
+  total_bytes = cursor;
+}
+
+Region SaberLayout::pk_b(std::size_t i) const { return pk.sub(i * kPolyP, kPolyP); }
+Region SaberLayout::pk_seed() const { return pk.sub(params.l * kPolyP, kSeed); }
+Region SaberLayout::ct_b(const Region& c, std::size_t i) const {
+  return c.sub(i * kPolyP, kPolyP);
+}
+Region SaberLayout::ct_cm(const Region& c) const {
+  return c.sub(params.l * kPolyP, params.poly_t_bytes());
+}
+Region SaberLayout::a_elem(std::size_t r, std::size_t col) const {
+  return a_bytes.sub((r * params.l + col) * kPolyQ, kPolyQ);
+}
+Region SaberLayout::s4_elem(std::size_t j) const { return s4.sub(j * kPoly4, kPoly4); }
+Region SaberLayout::sk13_elem(std::size_t j) const {
+  return sk13.sub(j * kPolyQ, kPolyQ);
+}
+
+Program keygen_program(const SaberLayout& L) {
+  const auto& p = L.params;
+  const std::size_t l = p.l;
+  Program prog;
+  // seed_A = SHAKE-128(seed_A_in): the public seed must not expose raw RNG
+  // output (reference flow).
+  prog.push_back(OpShake128{L.seed_a_in, L.seed_a});
+  prog.push_back(OpShake128{L.seed_a, L.a_bytes});
+  prog.push_back(OpShake128{L.seed_s, L.s_cbd});
+  const std::size_t cbd_poly = kem::SaberParams::n * p.mu / 8;
+  for (std::size_t j = 0; j < l; ++j) {
+    prog.push_back(OpSampleCbd{L.s_cbd.sub(j * cbd_poly, cbd_poly), L.s4_elem(j), p.mu});
+  }
+  // b = round(A^T s + h), rounded rows packed straight into the public key.
+  for (std::size_t i = 0; i < l; ++i) {
+    for (std::size_t j = 0; j < l; ++j) {
+      prog.push_back(OpPolyMulAcc{L.a_elem(j, i), L.s4_elem(j), /*first=*/j == 0});
+    }
+    prog.push_back(OpStoreAccRound{L.pk_b(i), kem::SaberParams::h1,
+                                   kem::SaberParams::eq,
+                                   kem::SaberParams::eq - kem::SaberParams::ep,
+                                   kem::SaberParams::ep});
+  }
+  prog.push_back(OpCopy{L.seed_a, L.pk_seed()});
+  // Secret key: 13-bit two's-complement encoding of s.
+  for (std::size_t j = 0; j < l; ++j) {
+    prog.push_back(OpRepackSigned{L.s4_elem(j), L.sk13_elem(j), 4, 13});
+  }
+  return prog;
+}
+
+Program encrypt_program(const SaberLayout& L, const Region& msg_in,
+                        const Region& seed_sp, const Region& ct_out) {
+  const auto& p = L.params;
+  const std::size_t l = p.l;
+  Program prog;
+  prog.push_back(OpShake128{L.pk_seed(), L.a_bytes});
+  prog.push_back(OpShake128{seed_sp, L.s_cbd});
+  const std::size_t cbd_poly = kem::SaberParams::n * p.mu / 8;
+  for (std::size_t j = 0; j < l; ++j) {
+    prog.push_back(OpSampleCbd{L.s_cbd.sub(j * cbd_poly, cbd_poly), L.s4_elem(j), p.mu});
+  }
+  // b' = round(A s' + h).
+  for (std::size_t i = 0; i < l; ++i) {
+    for (std::size_t j = 0; j < l; ++j) {
+      prog.push_back(OpPolyMulAcc{L.a_elem(i, j), L.s4_elem(j), j == 0});
+    }
+    prog.push_back(OpStoreAccRound{L.ct_b(ct_out, i), kem::SaberParams::h1,
+                                   kem::SaberParams::eq,
+                                   kem::SaberParams::eq - kem::SaberParams::ep,
+                                   kem::SaberParams::ep});
+  }
+  // v' = b^T s' (mod p; computed mod q, reduced at the encode step). Each
+  // 10-bit pk polynomial is repacked into the multiplier's 13-bit format.
+  for (std::size_t j = 0; j < l; ++j) {
+    prog.push_back(OpRepack{L.pk_b(j), L.op13, kem::SaberParams::ep, kem::SaberParams::eq});
+    prog.push_back(OpPolyMulAcc{L.op13, L.s4_elem(j), j == 0});
+  }
+  prog.push_back(OpStoreAccEncode{msg_in, L.ct_cm(ct_out), kem::SaberParams::ep, p.et,
+                                  kem::SaberParams::h1});
+  return prog;
+}
+
+Program decrypt_program(const SaberLayout& L, const Region& ct_in, const Region& m_out) {
+  const auto& p = L.params;
+  const std::size_t l = p.l;
+  Program prog;
+  // Load the secret from its 13-bit sk encoding into sampler format.
+  for (std::size_t j = 0; j < l; ++j) {
+    prog.push_back(OpRepackSigned{L.sk13_elem(j), L.s4_elem(j), 13, 4});
+  }
+  // v = b'^T s (mod p).
+  for (std::size_t j = 0; j < l; ++j) {
+    prog.push_back(
+        OpRepack{L.ct_b(ct_in, j), L.op13, kem::SaberParams::ep, kem::SaberParams::eq});
+    prog.push_back(OpPolyMulAcc{L.op13, L.s4_elem(j), j == 0});
+  }
+  prog.push_back(
+      OpStoreAccDecode{L.ct_cm(ct_in), m_out, kem::SaberParams::ep, p.et, p.h2()});
+  return prog;
+}
+
+Program kem_keygen_program(const SaberLayout& L) {
+  auto prog = keygen_program(L);
+  prog.push_back(OpSha3_256{L.pk, L.hash_pk});
+  return prog;
+}
+
+Program kem_encaps_program(const SaberLayout& L) {
+  Program prog;
+  // m = SHA3-256(m_raw); buf = m || SHA3-256(pk); (khat, r) = SHA3-512(buf).
+  prog.push_back(OpSha3_256{L.m_raw, L.m});
+  prog.push_back(OpCopy{L.m, L.buf.sub(0, 32)});
+  prog.push_back(OpSha3_256{L.pk, L.buf.sub(32, 32)});
+  prog.push_back(OpSha3_512{L.buf, L.kr});
+  // ct = PKE.Enc(m; r).
+  auto enc = encrypt_program(L, L.m, L.kr.sub(32, 32), L.ct);
+  prog.insert(prog.end(), enc.begin(), enc.end());
+  // K = SHA3-256(khat || SHA3-256(ct)).
+  prog.push_back(OpSha3_256{L.ct, L.kr.sub(32, 32)});
+  prog.push_back(OpSha3_256{L.kr, L.key});
+  return prog;
+}
+
+Program kem_decaps_program(const SaberLayout& L) {
+  Program prog;
+  auto dec = decrypt_program(L, L.ct, L.m_prime);
+  prog.insert(prog.end(), dec.begin(), dec.end());
+  // (khat', r') = SHA3-512(m' || H(pk)); re-encrypt and verify.
+  prog.push_back(OpCopy{L.m_prime, L.buf.sub(0, 32)});
+  prog.push_back(OpCopy{L.hash_pk, L.buf.sub(32, 32)});
+  prog.push_back(OpSha3_512{L.buf, L.kr});
+  auto enc = encrypt_program(L, L.m_prime, L.kr.sub(32, 32), L.ct2);
+  prog.insert(prog.end(), enc.begin(), enc.end());
+  prog.push_back(OpVerify{L.ct, L.ct2});
+  // K = SHA3-256((fail ? z : khat') || SHA3-256(ct)).
+  prog.push_back(OpSha3_256{L.ct, L.kr.sub(32, 32)});
+  prog.push_back(OpCMov{L.z, L.kr.sub(0, 32)});
+  prog.push_back(OpSha3_256{L.kr, L.key});
+  return prog;
+}
+
+SaberCoproc::SaberCoproc(const kem::SaberParams& params, arch::HwMultiplier& mult)
+    : layout_(params), cp_(mult, layout_.total_bytes) {}
+
+SaberCoproc::KeygenResult SaberCoproc::keygen(const Seed& seed_a, const Seed& seed_s,
+                                              const Seed& z) {
+  cp_.write_bytes(layout_.seed_a_in, seed_a);
+  cp_.write_bytes(layout_.seed_s, seed_s);
+  cp_.write_bytes(layout_.z, z);
+  KeygenResult res;
+  res.cycles = cp_.run(kem_keygen_program(layout_));
+  res.pk = cp_.read_bytes(layout_.pk);
+  // KEM secret key = sk13 || pk || H(pk) || z.
+  res.sk = cp_.read_bytes(layout_.sk13);
+  const auto pk = cp_.read_bytes(layout_.pk);
+  const auto hpk = cp_.read_bytes(layout_.hash_pk);
+  const auto zz = cp_.read_bytes(layout_.z);
+  res.sk.insert(res.sk.end(), pk.begin(), pk.end());
+  res.sk.insert(res.sk.end(), hpk.begin(), hpk.end());
+  res.sk.insert(res.sk.end(), zz.begin(), zz.end());
+  SABER_ENSURE(res.sk.size() == layout_.params.kem_sk_bytes(), "sk size mismatch");
+  return res;
+}
+
+SaberCoproc::EncapsResult SaberCoproc::encaps(std::span<const u8> pk,
+                                              const Seed& m_raw) {
+  SABER_REQUIRE(pk.size() == layout_.params.pk_bytes(), "bad pk size");
+  cp_.write_bytes(layout_.pk, pk);
+  cp_.write_bytes(layout_.m_raw, m_raw);
+  EncapsResult res;
+  res.cycles = cp_.run(kem_encaps_program(layout_));
+  res.ct = cp_.read_bytes(layout_.ct);
+  const auto k = cp_.read_bytes(layout_.key);
+  std::copy(k.begin(), k.end(), res.key.begin());
+  return res;
+}
+
+SaberCoproc::DecapsResult SaberCoproc::decaps(std::span<const u8> ct,
+                                              std::span<const u8> sk) {
+  const auto& p = layout_.params;
+  SABER_REQUIRE(ct.size() == p.ct_bytes(), "bad ct size");
+  SABER_REQUIRE(sk.size() == p.kem_sk_bytes(), "bad sk size");
+  cp_.write_bytes(layout_.ct, ct);
+  cp_.write_bytes(layout_.sk13, sk.first(p.pke_sk_bytes()));
+  cp_.write_bytes(layout_.pk, sk.subspan(p.pke_sk_bytes(), p.pk_bytes()));
+  cp_.write_bytes(layout_.hash_pk, sk.subspan(p.pke_sk_bytes() + p.pk_bytes(), 32));
+  cp_.write_bytes(layout_.z, sk.last(32));
+  DecapsResult res;
+  res.cycles = cp_.run(kem_decaps_program(layout_));
+  const auto k = cp_.read_bytes(layout_.key);
+  std::copy(k.begin(), k.end(), res.key.begin());
+  return res;
+}
+
+}  // namespace saber::coproc

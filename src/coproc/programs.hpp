@@ -1,0 +1,98 @@
+// Saber KEM programs for the coprocessor, and a high-level runner that
+// executes them and extracts the results.
+//
+// The programs mirror the round-3 reference flow exactly, so the runner's
+// outputs are byte-identical to the pure-software kem::SaberKemScheme — the
+// integration tests assert this for every architecture and parameter set.
+#pragma once
+
+#include <array>
+
+#include "coproc/coprocessor.hpp"
+#include "saber/params.hpp"
+
+namespace saber::coproc {
+
+/// Data-memory layout for one parameter set (all regions disjoint; byte
+/// offsets are 8-byte aligned so every region starts on a bus word).
+struct SaberLayout {
+  explicit SaberLayout(const kem::SaberParams& params);
+
+  kem::SaberParams params;
+
+  // PKE state.
+  Region seed_a_in, seed_a, seed_s;  ///< 32 B each
+  Region a_bytes;                    ///< l*l polynomials, 13-bit packed
+  Region s_cbd;                      ///< sampler input stream
+  Region s4;                         ///< l secrets, 4-bit packed
+  Region pk;                         ///< l*320 B rounded vector || 32 B seed
+  Region sk13;                       ///< l polynomials, 13-bit packed
+  Region op13;                       ///< repacked 13-bit operand scratch
+  Region ct;                         ///< l*320 B b' || n*et/8 B cm
+  Region msg;                        ///< 32 B message
+
+  // KEM state.
+  Region hash_pk, z, m_raw, m;       ///< 32 B each
+  Region buf;                        ///< 64 B hash input scratch
+  Region kr;                         ///< 64 B (khat || r)
+  Region key;                        ///< 32 B shared secret
+  Region ct2;                        ///< re-encryption scratch
+  Region m_prime;                    ///< 32 B decrypted message
+
+  std::size_t total_bytes = 0;
+
+  // Convenience sub-regions.
+  Region pk_b(std::size_t i) const;     ///< i-th rounded public polynomial
+  Region pk_seed() const;               ///< seed_A inside pk
+  Region ct_b(const Region& c, std::size_t i) const;  ///< i-th b' inside a ct
+  Region ct_cm(const Region& c) const;  ///< cm inside a ct
+  Region a_elem(std::size_t r, std::size_t col) const;
+  Region s4_elem(std::size_t j) const;
+  Region sk13_elem(std::size_t j) const;
+};
+
+/// PKE programs.
+Program keygen_program(const SaberLayout& L);
+Program encrypt_program(const SaberLayout& L, const Region& msg, const Region& seed_sp,
+                        const Region& ct_out);
+Program decrypt_program(const SaberLayout& L, const Region& ct_in, const Region& m_out);
+
+/// KEM programs (FO transform around the PKE programs).
+Program kem_keygen_program(const SaberLayout& L);
+Program kem_encaps_program(const SaberLayout& L);
+Program kem_decaps_program(const SaberLayout& L);
+
+/// High-level runner: loads inputs, executes, extracts outputs.
+class SaberCoproc {
+ public:
+  SaberCoproc(const kem::SaberParams& params, arch::HwMultiplier& mult);
+
+  using Bytes = std::vector<u8>;
+  using Seed = std::array<u8, 32>;
+
+  struct KeygenResult {
+    Bytes pk, sk;  ///< KEM formats (sk = sk13 || pk || H(pk) || z)
+    CycleLedger cycles;
+  };
+  struct EncapsResult {
+    Bytes ct;
+    std::array<u8, 32> key;
+    CycleLedger cycles;
+  };
+  struct DecapsResult {
+    std::array<u8, 32> key;
+    CycleLedger cycles;
+  };
+
+  KeygenResult keygen(const Seed& seed_a, const Seed& seed_s, const Seed& z);
+  EncapsResult encaps(std::span<const u8> pk, const Seed& m_raw);
+  DecapsResult decaps(std::span<const u8> ct, std::span<const u8> sk);
+
+  const SaberLayout& layout() const { return layout_; }
+
+ private:
+  SaberLayout layout_;
+  Coprocessor cp_;
+};
+
+}  // namespace saber::coproc

@@ -1,0 +1,29 @@
+#include "coproc/units.hpp"
+
+#include <algorithm>
+
+namespace saber::coproc {
+
+u64 sponge_cycles(const UnitCosts& c, std::size_t in_bytes, std::size_t out_bytes,
+                  std::size_t rate_bytes) {
+  // Absorption: every input word crosses the bus; each full rate block (and
+  // the padded final block) costs one permutation. Squeezing: one permutation
+  // per additional rate block, words out over the bus.
+  const u64 absorb_words = ceil_div<std::size_t>(in_bytes, c.bus_bytes_per_cycle);
+  const u64 absorb_perms = in_bytes / rate_bytes + 1;  // includes padded block
+  const u64 squeeze_words = ceil_div<std::size_t>(out_bytes, c.bus_bytes_per_cycle);
+  const u64 squeeze_perms =
+      out_bytes == 0 ? 0 : (out_bytes - 1) / rate_bytes;  // first block is free
+  return c.stream_setup_cycles + absorb_words +
+         (absorb_perms + squeeze_perms) * c.keccak_round_cycles + squeeze_words;
+}
+
+u64 sampler_cycles(const UnitCosts& c, std::size_t coefficients) {
+  return c.stream_setup_cycles + ceil_div<u64>(coefficients, c.sampler_coeffs_per_cycle);
+}
+
+u64 stream_cycles(const UnitCosts& c, std::size_t bytes) {
+  return c.stream_setup_cycles + ceil_div<u64>(bytes, c.bus_bytes_per_cycle);
+}
+
+}  // namespace saber::coproc

@@ -1,0 +1,35 @@
+// Cycle-cost models of the coprocessor's fixed-function units.
+//
+// The numbers follow the [10]-class design point: a 64-bit data bus between
+// memory and every unit, a SHA-3 core that absorbs/squeezes one 64-bit word
+// per cycle and permutes in 24 cycles, a binomial sampler producing four
+// coefficients per cycle, and word-stream data units processing one 64-bit
+// word per cycle with a two-cycle start-up (address issue + read latency).
+#pragma once
+
+#include <cstddef>
+
+#include "common/bits.hpp"
+
+namespace saber::coproc {
+
+struct UnitCosts {
+  u64 keccak_round_cycles = 24;   ///< one Keccak-f[1600] permutation
+  u64 bus_bytes_per_cycle = 8;    ///< 64-bit bus
+  u64 sampler_coeffs_per_cycle = 4;
+  u64 stream_setup_cycles = 2;    ///< address issue + BRAM read latency
+  u64 dispatch_cycles = 1;        ///< instruction fetch/decode
+};
+
+/// Cycles for a sponge operation: absorb `in_bytes`, squeeze `out_bytes`,
+/// with the given rate (168 for SHAKE-128, 136/72 for SHA3-256/512).
+u64 sponge_cycles(const UnitCosts& c, std::size_t in_bytes, std::size_t out_bytes,
+                  std::size_t rate_bytes);
+
+/// Cycles for sampling n coefficients (input words stream concurrently).
+u64 sampler_cycles(const UnitCosts& c, std::size_t coefficients);
+
+/// Cycles for a word-stream pass over max(in, out) bytes.
+u64 stream_cycles(const UnitCosts& c, std::size_t bytes);
+
+}  // namespace saber::coproc

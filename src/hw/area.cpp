@@ -1,0 +1,63 @@
+#include "hw/area.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace saber::hw {
+
+AreaCost reg(unsigned width) { return {.ff = width}; }
+
+AreaCost adder(unsigned width) { return {.lut = width}; }
+
+AreaCost add_sub(unsigned width) { return {.lut = width + 1u}; }
+
+AreaCost cond_negate(unsigned width) { return {.lut = width + 1u}; }
+
+AreaCost mux(unsigned inputs, unsigned width) {
+  SABER_REQUIRE(inputs >= 2 && inputs <= 16, "mux size out of modeled range");
+  if (inputs == 2) return {.lut = ceil_div(width, 2u)};
+  return {.lut = static_cast<u64>(ceil_div(inputs, 4u)) * width};
+}
+
+AreaCost glue_lut(u64 n) { return {.lut = n}; }
+
+AreaCost dsp_slice() { return {.dsp = 1}; }
+
+AreaCost bram36() { return {.bram = 1}; }
+
+AreaCost comparator(unsigned width) { return {.lut = ceil_div(width, 4u)}; }
+
+AreaCost counter(unsigned width) { return {.lut = width, .ff = width}; }
+
+void AreaLedger::add(std::string name, u64 count, AreaCost unit) {
+  entries_.push_back({std::move(name), count, unit});
+}
+
+AreaCost AreaLedger::total() const {
+  AreaCost t;
+  for (const auto& e : entries_) t += e.total();
+  return t;
+}
+
+std::string AreaLedger::to_string(std::string_view title) const {
+  std::ostringstream os;
+  os << title << "\n";
+  os << "  " << std::left << std::setw(44) << "component" << std::right
+     << std::setw(7) << "count" << std::setw(9) << "LUT" << std::setw(9) << "FF"
+     << std::setw(6) << "DSP" << "\n";
+  for (const auto& e : entries_) {
+    const auto t = e.total();
+    os << "  " << std::left << std::setw(44) << e.name << std::right << std::setw(7)
+       << e.count << std::setw(9) << t.lut << std::setw(9) << t.ff << std::setw(6)
+       << t.dsp << "\n";
+  }
+  const auto t = total();
+  os << "  " << std::left << std::setw(44) << "TOTAL" << std::right << std::setw(7)
+     << "" << std::setw(9) << t.lut << std::setw(9) << t.ff << std::setw(6) << t.dsp
+     << "\n";
+  return os.str();
+}
+
+}  // namespace saber::hw

@@ -1,0 +1,112 @@
+// Structural FPGA area model.
+//
+// Vivado synthesis numbers cannot be reproduced in C++, but the paper's area
+// claims are *relative* (HS-I saves 22-24 % LUTs over [10], HS-II saves 46 %
+// over [10]-512, LW fits in 541 LUTs). Those savings are structural — a
+// shift-and-add multiplier per MAC versus a single shared one — so a
+// component-level cost model reproduces them. Costs follow standard Xilinx
+// 6-input-LUT mapping rules:
+//
+//   register             1 FF per bit
+//   ripple adder         1 LUT per bit (carry chain is free)
+//   add/sub (+/- select) 1 LUT per bit + 1 control LUT (input XOR folds in)
+//   n:1 mux              ceil(n/4) LUTs per bit for n <= 16
+//                        (LUT6 = 4:1 mux/bit; F7/F8 muxes are free)
+//   2:1 mux              1 LUT per 2 bits (dual-output LUT5 fracturing)
+//   wired shifts         free
+//
+// Each architecture builds an AreaLedger of named components so the report
+// can print the structural inventory (the textual equivalent of the paper's
+// Figures 1-4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace saber::hw {
+
+struct AreaCost {
+  u64 lut = 0;
+  u64 ff = 0;
+  u64 dsp = 0;
+  u64 bram = 0;
+
+  AreaCost& operator+=(const AreaCost& o) {
+    lut += o.lut;
+    ff += o.ff;
+    dsp += o.dsp;
+    bram += o.bram;
+    return *this;
+  }
+  friend AreaCost operator+(AreaCost a, const AreaCost& b) { return a += b; }
+  friend AreaCost operator*(AreaCost a, u64 n) {
+    a.lut *= n;
+    a.ff *= n;
+    a.dsp *= n;
+    a.bram *= n;
+    return a;
+  }
+  bool operator==(const AreaCost&) const = default;
+};
+
+// --- primitive cost rules -------------------------------------------------
+
+/// Register: one flip-flop per bit.
+AreaCost reg(unsigned width);
+
+/// Ripple-carry adder.
+AreaCost adder(unsigned width);
+
+/// Adder/subtractor with a +/- control input.
+AreaCost add_sub(unsigned width);
+
+/// Conditional two's-complement negation (xor layer + increment).
+AreaCost cond_negate(unsigned width);
+
+/// n:1 multiplexer of the given width (n <= 16).
+AreaCost mux(unsigned inputs, unsigned width);
+
+/// Raw LUT count for glue logic that has no finer structure.
+AreaCost glue_lut(u64 n);
+
+/// One DSP48E2 slice (internal pipeline registers are part of the slice).
+AreaCost dsp_slice();
+
+/// One 36 Kb block RAM.
+AreaCost bram36();
+
+/// Comparator (equality) of the given width.
+AreaCost comparator(unsigned width);
+
+/// Binary counter with carry chain.
+AreaCost counter(unsigned width);
+
+// --- ledger ---------------------------------------------------------------
+
+/// Named component inventory of one architecture.
+class AreaLedger {
+ public:
+  struct Entry {
+    std::string name;
+    u64 count;
+    AreaCost unit;
+
+    AreaCost total() const { return unit * count; }
+  };
+
+  /// Record `count` instances of a component.
+  void add(std::string name, u64 count, AreaCost unit);
+
+  AreaCost total() const;
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Multi-line human-readable inventory (component, count, LUT/FF/DSP).
+  std::string to_string(std::string_view title) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace saber::hw

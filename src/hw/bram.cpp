@@ -1,0 +1,57 @@
+#include "hw/bram.hpp"
+
+#include "common/check.hpp"
+
+namespace saber::hw {
+
+Bram64::Bram64(std::size_t words, unsigned ports) : mem_(words, 0), ports_(ports) {
+  SABER_REQUIRE(ports >= 1 && ports <= 4, "modeled BRAM banks: 1..4");
+}
+
+void Bram64::read(std::size_t addr) {
+  SABER_REQUIRE(pending_reads_.size() < ports_,
+                "BRAM read-port conflict: too many reads in one cycle");
+  SABER_REQUIRE(addr < mem_.size(), "BRAM read out of range");
+  pending_reads_.push_back(addr);
+  ++reads_;
+  if (tracing_) trace_.push_back({cycle_, Access::Kind::kRead, addr});
+}
+
+void Bram64::write(std::size_t addr, u64 value) {
+  SABER_REQUIRE(pending_writes_.size() < ports_,
+                "BRAM write-port conflict: too many writes in one cycle");
+  SABER_REQUIRE(addr < mem_.size(), "BRAM write out of range");
+  for (const auto& w : pending_writes_) {
+    SABER_REQUIRE(w.addr != addr, "BRAM write-port conflict: same address twice");
+  }
+  pending_writes_.push_back({addr, value});
+  ++writes_;
+  if (tracing_) trace_.push_back({cycle_, Access::Kind::kWrite, addr});
+}
+
+void Bram64::tick() {
+  // Reads latch pre-write contents (read-first mode).
+  latched_.clear();
+  for (const auto addr : pending_reads_) latched_.push_back(mem_[addr]);
+  for (const auto& w : pending_writes_) mem_[w.addr] = w.value;
+  pending_reads_.clear();
+  pending_writes_.clear();
+  ++cycle_;
+}
+
+u64 Bram64::read_data(std::size_t i) const {
+  SABER_REQUIRE(i < latched_.size(), "BRAM read_data with no such read last cycle");
+  return latched_[i];
+}
+
+u64 Bram64::peek(std::size_t addr) const {
+  SABER_REQUIRE(addr < mem_.size(), "BRAM peek out of range");
+  return mem_[addr];
+}
+
+void Bram64::poke(std::size_t addr, u64 value) {
+  SABER_REQUIRE(addr < mem_.size(), "BRAM poke out of range");
+  mem_[addr] = value;
+}
+
+}  // namespace saber::hw

@@ -1,0 +1,88 @@
+// Cycle-accurate model of the 64-bit memory the paper's multipliers attach to
+// (§2.2: "we implement all polynomial multiplier architectures considering a
+// 64-bit memory ... the multipliers have 64-bit data exchange ports").
+//
+// The model enforces the structural constraints the lightweight architecture
+// is built around (§4.1: "a single BRAM with only one read and one write
+// port"): at most `ports` reads and `ports` writes may be issued per cycle —
+// one more is a ContractViolation, making schedule bugs hard failures in
+// tests. Reads have one cycle of latency, as in a real synchronous BRAM.
+//
+// `ports > 1` models the §4.2 trade-off of "increasing the amount of data
+// that can be stored to BRAM per cycle ... by working with more BRAMs in
+// parallel" for the 8- and 16-MAC lightweight variants.
+#pragma once
+
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace saber::hw {
+
+class Bram64 {
+ public:
+  explicit Bram64(std::size_t words, unsigned ports = 1);
+
+  std::size_t size() const { return mem_.size(); }
+  unsigned ports() const { return ports_; }
+
+  /// Issue a read of `addr`; data is visible via read_data() after tick().
+  void read(std::size_t addr);
+
+  /// Issue a write; committed at tick().
+  void write(std::size_t addr, u64 value);
+
+  std::size_t reads_issued() const { return pending_reads_.size(); }
+  std::size_t writes_issued() const { return pending_writes_.size(); }
+
+  /// Advance one clock edge: commit pending writes, latch read data.
+  /// Reads see pre-write contents (read-first mode).
+  void tick();
+
+  /// Data of the i-th read issued in the previous cycle.
+  u64 read_data(std::size_t i = 0) const;
+  std::size_t reads_completed() const { return latched_.size(); }
+
+  // Backdoor access for test setup and result extraction (not cycle-counted,
+  // does not use the ports).
+  u64 peek(std::size_t addr) const;
+  void poke(std::size_t addr, u64 value);
+
+  // Access statistics (the paper's low-power argument is about minimizing
+  // these; the power proxy reads them).
+  u64 reads() const { return reads_; }
+  u64 writes() const { return writes_; }
+
+  /// Address trace for side-channel analysis: when enabled, every issued
+  /// access is recorded as (cycle, kind, address) — deliberately *without*
+  /// data values, so comparing two traces checks exactly the property a
+  /// constant-time design must have (§3.1): the memory-access pattern does
+  /// not depend on the processed secrets.
+  struct Access {
+    u64 cycle;
+    enum class Kind : u8 { kRead, kWrite } kind;
+    std::size_t addr;
+
+    bool operator==(const Access&) const = default;
+  };
+  void enable_trace() { tracing_ = true; }
+  const std::vector<Access>& trace() const { return trace_; }
+
+ private:
+  struct Write {
+    std::size_t addr;
+    u64 value;
+  };
+  std::vector<u64> mem_;
+  unsigned ports_;
+  std::vector<std::size_t> pending_reads_;
+  std::vector<Write> pending_writes_;
+  std::vector<u64> latched_;
+  u64 reads_ = 0;
+  u64 writes_ = 0;
+  u64 cycle_ = 0;
+  bool tracing_ = false;
+  std::vector<Access> trace_;
+};
+
+}  // namespace saber::hw

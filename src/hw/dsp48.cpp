@@ -1,0 +1,44 @@
+#include "hw/dsp48.hpp"
+
+#include "common/check.hpp"
+
+namespace saber::hw {
+
+Dsp48::Dsp48(unsigned pipeline_stages, const DspPorts& ports)
+    : stages_(pipeline_stages), ports_(ports) {
+  SABER_REQUIRE(stages_ >= 1 && stages_ <= 4, "DSP48 pipeline depth out of range");
+  SABER_REQUIRE(ports_.p_bits <= 63, "P width exceeds the model's range");
+  pipe_.resize(stages_);
+}
+
+void Dsp48::set_inputs(i64 a, i64 b, i64 c) {
+  const i64 a_min = -(i64{1} << (ports_.a_bits - 1)),
+            a_max = (i64{1} << (ports_.a_bits - 1)) - 1;
+  const i64 b_min = -(i64{1} << (ports_.b_bits - 1)),
+            b_max = (i64{1} << (ports_.b_bits - 1)) - 1;
+  SABER_REQUIRE(a >= a_min && a <= a_max, "DSP A operand out of signed range");
+  SABER_REQUIRE(b >= b_min && b <= b_max, "DSP B operand out of signed range");
+  a_ = a;
+  b_ = b;
+  c_ = c;
+  in_valid_ = true;
+}
+
+void Dsp48::tick() {
+  // Shift the pipeline towards P; the multiply-add result enters stage 0.
+  for (std::size_t i = pipe_.size(); i-- > 1;) {
+    pipe_[i] = pipe_[i - 1];
+  }
+  if (in_valid_) {
+    // Wrap-around arithmetic at the ALU width, as the real slice performs.
+    const u64 raw = static_cast<u64>(a_ * b_ + c_);
+    pipe_[0].value = sign_extend(raw, ports_.p_bits);
+    pipe_[0].valid = true;
+    ++ops_;
+  } else {
+    pipe_[0].valid = false;
+  }
+  in_valid_ = false;
+}
+
+}  // namespace saber::hw

@@ -1,0 +1,67 @@
+// Bit-exact model of a Xilinx DSP slice computing P = A * B + C with a
+// configurable pipeline depth (the paper's HS-II cycle count of
+// 131 = 128 + 3 reflects the three-stage A/B -> M -> P pipeline).
+//
+// Default port widths model the UltraScale+ DSP48E2: signed 27 x 18 multiply
+// with a 48-bit ALU; for unsigned operands the usable widths are 26 x 17,
+// which is exactly the constraint that forces the A = a + a'*2^26,
+// S = s + s'*2^17 split in §3.2. Wider widths model next-generation slices
+// (Versal DSP58: 27 x 24, 58-bit ALU) for the paper's future-work discussion.
+#pragma once
+
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace saber::hw {
+
+/// Port widths of a DSP generation (signed operand widths).
+struct DspPorts {
+  unsigned a_bits = 27;
+  unsigned b_bits = 18;
+  unsigned p_bits = 48;
+};
+
+inline constexpr DspPorts kDsp48E2{27, 18, 48};
+inline constexpr DspPorts kDsp58{27, 24, 58};
+
+class Dsp48 {
+ public:
+  static constexpr unsigned kAWidth = 27;  // DSP48E2 defaults (signed)
+  static constexpr unsigned kBWidth = 18;
+  static constexpr unsigned kPWidth = 48;
+
+  explicit Dsp48(unsigned pipeline_stages = 3, const DspPorts& ports = kDsp48E2);
+
+  unsigned pipeline_stages() const { return stages_; }
+  const DspPorts& ports() const { return ports_; }
+
+  /// Present operands for this cycle. Values are signed; they must fit the
+  /// port widths (27/18 bits signed, i.e. unsigned values up to 2^26/2^17).
+  void set_inputs(i64 a, i64 b, i64 c);
+
+  /// Clock edge: advance the pipeline.
+  void tick();
+
+  /// Output register P (valid once `pipeline_stages` ticks have elapsed since
+  /// the corresponding set_inputs).
+  i64 p() const { return pipe_.back().value; }
+  bool p_valid() const { return pipe_.back().valid; }
+
+  /// Multiplications performed (for the power proxy).
+  u64 ops() const { return ops_; }
+
+ private:
+  struct Stage {
+    i64 value = 0;
+    bool valid = false;
+  };
+  unsigned stages_;
+  DspPorts ports_;
+  i64 a_ = 0, b_ = 0, c_ = 0;
+  bool in_valid_ = false;
+  std::vector<Stage> pipe_;
+  u64 ops_ = 0;
+};
+
+}  // namespace saber::hw

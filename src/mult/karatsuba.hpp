@@ -1,0 +1,34 @@
+// Recursive Karatsuba linear convolution with configurable recursion depth.
+//
+// Depth 8 on 256-coefficient operands reaches 1-coefficient base cases — the
+// "parallel 8-level Karatsuba" configuration of Zhu et al. [11] that the
+// paper compares against in §5.2. Smaller depths model the hybrid
+// Karatsuba/schoolbook trade-offs used by software implementations [6].
+#pragma once
+
+#include "mult/multiplier.hpp"
+
+namespace saber::mult {
+
+class KaratsubaMultiplier final : public PolyMultiplier {
+ public:
+  /// `levels`: number of splitting levels before falling back to schoolbook.
+  explicit KaratsubaMultiplier(unsigned levels = 8);
+
+  std::string_view name() const override { return name_; }
+  unsigned levels() const { return levels_; }
+
+  ring::Poly multiply(const ring::Poly& a, const ring::Poly& b,
+                      unsigned qbits) const override;
+
+ private:
+  unsigned levels_;
+  std::string name_;
+};
+
+/// Signed integer linear convolution by Karatsuba, splitting `levels` times
+/// (or until operands shrink to a single coefficient).
+void karatsuba_conv(std::span<const i64> a, std::span<const i64> b, std::span<i64> out,
+                    unsigned levels, OpCounts& ops);
+
+}  // namespace saber::mult

@@ -1,0 +1,46 @@
+#include "mult/modmath.hpp"
+
+namespace saber::mult {
+
+u64 powmod(u64 a, u64 e, u64 m) {
+  u64 r = 1 % m;
+  a %= m;
+  while (e != 0) {
+    if (e & 1) r = mulmod(r, a, m);
+    a = mulmod(a, a, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+u64 invmod_prime(u64 a, u64 p) { return powmod(a, p - 2, p); }
+
+bool is_prime_u64(u64 n) {
+  if (n < 2) return false;
+  for (u64 p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull, 31ull, 37ull}) {
+    if (n % p == 0) return n == p;
+  }
+  u64 d = n - 1;
+  unsigned r = 0;
+  while (d % 2 == 0) {
+    d /= 2;
+    ++r;
+  }
+  // This witness set is deterministic for all n < 2^64.
+  for (u64 a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull, 31ull, 37ull}) {
+    u64 x = powmod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (unsigned i = 1; i < r; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+}  // namespace saber::mult

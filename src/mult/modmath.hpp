@@ -1,0 +1,31 @@
+// Modular arithmetic over word-sized primes, used by the NTT multiplier.
+#pragma once
+
+#include "common/bits.hpp"
+
+namespace saber::mult {
+
+__extension__ using u128 = unsigned __int128;
+
+/// (a * b) mod m for m < 2^63.
+constexpr u64 mulmod(u64 a, u64 b, u64 m) {
+  return static_cast<u64>((static_cast<u128>(a) * b) % m);
+}
+
+constexpr u64 addmod(u64 a, u64 b, u64 m) {
+  const u64 s = a + b;
+  return s >= m ? s - m : s;
+}
+
+constexpr u64 submod(u64 a, u64 b, u64 m) { return a >= b ? a - b : a + m - b; }
+
+/// a^e mod m by square-and-multiply.
+u64 powmod(u64 a, u64 e, u64 m);
+
+/// Modular inverse modulo a prime (via Fermat).
+u64 invmod_prime(u64 a, u64 p);
+
+/// Deterministic Miller-Rabin, valid for all 64-bit inputs.
+bool is_prime_u64(u64 n);
+
+}  // namespace saber::mult

@@ -1,0 +1,9 @@
+#include "mult/multiplier.hpp"
+
+namespace saber::mult {
+
+// The interface is header-only apart from the vtable anchor below; keeping
+// the key function here gives every algorithm a single shared vtable TU.
+// (No out-of-line members are currently needed.)
+
+}  // namespace saber::mult

@@ -1,0 +1,80 @@
+// Software polynomial-multiplier strategy interface.
+//
+// Every algorithm computes the negacyclic product in R_q with q = 2^qbits.
+// They form the functional ground truth for the cycle-accurate hardware
+// models and the §5.1 software-comparison benchmarks; per-call operation
+// counts back the paper's algorithm-level cost discussion.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "ring/poly.hpp"
+
+namespace saber::mult {
+
+/// Coefficient-level operation tally for one or more multiplications.
+struct OpCounts {
+  u64 coeff_mults = 0;  ///< word x word multiplications
+  u64 coeff_adds = 0;   ///< word additions/subtractions
+
+  OpCounts& operator+=(const OpCounts& o) {
+    coeff_mults += o.coeff_mults;
+    coeff_adds += o.coeff_adds;
+    return *this;
+  }
+};
+
+class PolyMultiplier {
+ public:
+  virtual ~PolyMultiplier() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Negacyclic product of two general ring elements, reduced mod 2^qbits.
+  virtual ring::Poly multiply(const ring::Poly& a, const ring::Poly& b,
+                              unsigned qbits) const = 0;
+
+  /// Product with a small signed secret (Saber's case). The two's-complement
+  /// embedding makes this exact for any algorithm working modulo 2^qbits.
+  /// (Named distinctly so derived-class `multiply` overrides do not hide it.)
+  ring::Poly multiply_secret(const ring::Poly& a, const ring::SecretPoly& s,
+                             unsigned qbits) const {
+    return multiply(a, s.to_poly(qbits), qbits);
+  }
+
+  /// Operations accumulated since construction / last reset.
+  OpCounts ops() const { return ops_; }
+  void reset_ops() { ops_ = {}; }
+
+ protected:
+  mutable OpCounts ops_{};
+};
+
+/// Negacyclic fold of a signed linear convolution (length 2N-1) followed by
+/// reduction mod 2^qbits. Shared by all convolution-based algorithms.
+template <std::size_t N>
+ring::PolyT<N> fold_negacyclic(std::span<const i64> conv, unsigned qbits) {
+  SABER_REQUIRE(conv.size() == 2 * N - 1, "convolution length mismatch");
+  ring::PolyT<N> r;
+  for (std::size_t i = 0; i < N; ++i) {
+    i64 v = conv[i];
+    if (i + N < conv.size()) v -= conv[i + N];
+    r[i] = static_cast<u16>(to_twos_complement(v, qbits) & mask64(qbits));
+  }
+  return r;
+}
+
+/// Centered coefficient lift used before integer convolution: interpreting
+/// each coefficient mod 2^qbits as a signed value in [-q/2, q/2) keeps the
+/// convolution values small without changing the result mod q.
+template <std::size_t N>
+std::vector<i64> centered_lift(const ring::PolyT<N>& p, unsigned qbits) {
+  std::vector<i64> v(N);
+  for (std::size_t i = 0; i < N; ++i) v[i] = ring::centered(p[i], qbits);
+  return v;
+}
+
+}  // namespace saber::mult

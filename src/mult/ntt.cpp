@@ -1,0 +1,100 @@
+#include "mult/ntt.hpp"
+
+#include "common/check.hpp"
+#include "mult/modmath.hpp"
+
+namespace saber::mult {
+
+namespace {
+
+// Bit-reversal of an 8-bit index (N = 256 = 2^8).
+constexpr unsigned brv8(unsigned x) {
+  unsigned r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r = (r << 1) | ((x >> i) & 1u);
+  }
+  return r;
+}
+
+}  // namespace
+
+NttMultiplier::NttMultiplier() {
+  constexpr u64 p = kPrime;
+  SABER_ENSURE((p - 1) % (2 * kN) == 0, "prime does not support 2N-th roots");
+  const u64 psi = powmod(kGenerator, (p - 1) / (2 * kN), p);
+  SABER_ENSURE(powmod(psi, kN, p) == p - 1, "psi is not a primitive 2N-th root");
+  const u64 psi_inv = invmod_prime(psi, p);
+  for (unsigned i = 0; i < kN; ++i) {
+    zetas_[i] = powmod(psi, brv8(i), p);
+    zetas_inv_[i] = powmod(psi_inv, brv8(i), p);
+  }
+  n_inv_ = invmod_prime(kN, p);
+}
+
+void NttMultiplier::forward(std::array<u64, kN>& v) const {
+  constexpr u64 p = kPrime;
+  std::size_t k = 1;
+  for (std::size_t len = kN / 2; len >= 1; len >>= 1) {
+    for (std::size_t start = 0; start < kN; start += 2 * len) {
+      const u64 zeta = zetas_[k++];
+      for (std::size_t j = start; j < start + len; ++j) {
+        const u64 t = mulmod(zeta, v[j + len], p);
+        v[j + len] = submod(v[j], t, p);
+        v[j] = addmod(v[j], t, p);
+      }
+    }
+  }
+  ops_.coeff_mults += kN / 2 * 8;
+  ops_.coeff_adds += kN * 8;
+}
+
+void NttMultiplier::inverse(std::array<u64, kN>& v) const {
+  constexpr u64 p = kPrime;
+  for (std::size_t len = 1; len < kN; len <<= 1) {
+    // Mirror the forward stage exactly: the forward pass gave the g-th group
+    // of the stage with this `len` the twiddle index N/(2*len) + g.
+    const std::size_t k_base = kN / (2 * len);
+    std::size_t g = 0;
+    for (std::size_t start = 0; start < kN; start += 2 * len, ++g) {
+      const u64 zeta_inv = zetas_inv_[k_base + g];
+      for (std::size_t j = start; j < start + len; ++j) {
+        const u64 t = v[j];
+        v[j] = addmod(t, v[j + len], p);
+        v[j + len] = mulmod(zeta_inv, submod(t, v[j + len], p), p);
+      }
+    }
+  }
+  for (auto& x : v) x = mulmod(x, n_inv_, p);
+  ops_.coeff_mults += kN / 2 * 8 + kN;
+  ops_.coeff_adds += kN * 8;
+}
+
+ring::Poly NttMultiplier::multiply(const ring::Poly& a, const ring::Poly& b,
+                                   unsigned qbits) const {
+  constexpr u64 p = kPrime;
+  // Centered lift keeps the true integer product coefficients below
+  // N * (q/2)^2 = 2^36 in magnitude, far inside (-p/2, p/2).
+  std::array<u64, kN> va{}, vb{};
+  for (std::size_t i = 0; i < kN; ++i) {
+    const i64 ca = ring::centered(a[i], qbits);
+    const i64 cb = ring::centered(b[i], qbits);
+    va[i] = ca >= 0 ? static_cast<u64>(ca) : p - static_cast<u64>(-ca);
+    vb[i] = cb >= 0 ? static_cast<u64>(cb) : p - static_cast<u64>(-cb);
+  }
+  forward(va);
+  forward(vb);
+  for (std::size_t i = 0; i < kN; ++i) va[i] = mulmod(va[i], vb[i], p);
+  ops_.coeff_mults += kN;
+  inverse(va);
+
+  ring::Poly r;
+  for (std::size_t i = 0; i < kN; ++i) {
+    // Exact centered lift back to Z, then reduce mod 2^qbits.
+    const i64 c = va[i] > p / 2 ? static_cast<i64>(va[i]) - static_cast<i64>(p)
+                                : static_cast<i64>(va[i]);
+    r[i] = static_cast<u16>(to_twos_complement(c, qbits));
+  }
+  return r;
+}
+
+}  // namespace saber::mult

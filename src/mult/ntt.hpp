@@ -1,0 +1,45 @@
+// NTT-based negacyclic multiplication over an NTT-friendly prime.
+//
+// Saber's power-of-two moduli rule out a direct NTT; the workaround used by
+// Chung et al. [14] (the paper's §5.1 software comparison) multiplies over a
+// prime p' large enough that the integer result can be recovered exactly and
+// then reduces mod 2^qbits. We use the 42-bit prime p' = 2^41 + 10241
+// (= 4294967316 * 512 + 1, so 512th roots of unity exist) and the negacyclic
+// psi-twisted NTT; centered operand lifting keeps every true coefficient of
+// the integer product below p'/2 in magnitude, making the lift exact.
+#pragma once
+
+#include <array>
+
+#include "mult/multiplier.hpp"
+
+namespace saber::mult {
+
+class NttMultiplier final : public PolyMultiplier {
+ public:
+  static constexpr u64 kPrime = 2199023265793ULL;  // 2^41 + 10241
+  static constexpr u64 kGenerator = 5;
+  static constexpr std::size_t kN = ring::kN;  // 256
+
+  NttMultiplier();
+
+  std::string_view name() const override { return "ntt"; }
+
+  ring::Poly multiply(const ring::Poly& a, const ring::Poly& b,
+                      unsigned qbits) const override;
+
+  /// Forward negacyclic NTT (psi-twisted, bit-reversed output) in place.
+  void forward(std::array<u64, kN>& v) const;
+
+  /// Inverse negacyclic NTT (bit-reversed input) in place.
+  void inverse(std::array<u64, kN>& v) const;
+
+ private:
+  // Twiddle factors in the order consumed by the Cooley-Tukey / Gentleman-
+  // Sande butterflies (powers of psi in bit-reversed order).
+  std::array<u64, kN> zetas_{};
+  std::array<u64, kN> zetas_inv_{};
+  u64 n_inv_ = 0;
+};
+
+}  // namespace saber::mult

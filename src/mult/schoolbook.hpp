@@ -1,0 +1,23 @@
+// Schoolbook negacyclic multiplication (Algorithm 1 of the paper): the
+// functional reference against which every other algorithm and every
+// cycle-accurate hardware model is checked.
+#pragma once
+
+#include "mult/multiplier.hpp"
+
+namespace saber::mult {
+
+class SchoolbookMultiplier final : public PolyMultiplier {
+ public:
+  std::string_view name() const override { return "schoolbook"; }
+
+  ring::Poly multiply(const ring::Poly& a, const ring::Poly& b,
+                      unsigned qbits) const override;
+};
+
+/// Signed integer linear convolution, out.size() == a.size() + b.size() - 1.
+/// Exposed for reuse as the base case of Karatsuba / Toom-Cook.
+void schoolbook_conv(std::span<const i64> a, std::span<const i64> b, std::span<i64> out,
+                     OpCounts& ops);
+
+}  // namespace saber::mult

@@ -1,0 +1,41 @@
+#include "mult/strategy.hpp"
+
+#include <charconv>
+
+#include "common/check.hpp"
+#include "mult/karatsuba.hpp"
+#include "mult/ntt.hpp"
+#include "mult/schoolbook.hpp"
+#include "mult/toomcook.hpp"
+
+namespace saber::mult {
+
+std::unique_ptr<PolyMultiplier> make_multiplier(std::string_view name) {
+  if (name == "schoolbook") return std::make_unique<SchoolbookMultiplier>();
+  if (name == "toom4") return std::make_unique<ToomCook4Multiplier>();
+  if (name == "toom3") return std::make_unique<ToomCook3Multiplier>();
+  if (name == "ntt") return std::make_unique<NttMultiplier>();
+  if (name.starts_with("karatsuba-")) {
+    const auto digits = name.substr(std::string_view{"karatsuba-"}.size());
+    unsigned levels = 0;
+    const auto [ptr, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), levels);
+    SABER_REQUIRE(ec == std::errc{} && ptr == digits.data() + digits.size(),
+                  "malformed karatsuba level");
+    return std::make_unique<KaratsubaMultiplier>(levels);
+  }
+  SABER_REQUIRE(false, "unknown multiplier name: " + std::string(name));
+  return nullptr;  // unreachable
+}
+
+std::vector<std::string_view> multiplier_names() {
+  return {"schoolbook", "karatsuba-8", "toom3", "toom4", "ntt"};
+}
+
+ring::PolyMulFn as_poly_mul(const PolyMultiplier& m) {
+  return [&m](const ring::Poly& a, const ring::SecretPoly& s, unsigned qbits) {
+    return m.multiply_secret(a, s, qbits);
+  };
+}
+
+}  // namespace saber::mult

@@ -1,0 +1,26 @@
+// Factory/registry for software multipliers, used by tests, benches and the
+// examples to iterate over every algorithm uniformly.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "mult/multiplier.hpp"
+#include "ring/polyvec.hpp"
+
+namespace saber::mult {
+
+/// Known algorithm names: "schoolbook", "karatsuba-<levels>" (e.g.
+/// "karatsuba-8"), "toom4", "ntt". Throws ContractViolation for unknown names.
+std::unique_ptr<PolyMultiplier> make_multiplier(std::string_view name);
+
+/// All registered algorithm names (one representative per family).
+std::vector<std::string_view> multiplier_names();
+
+/// Adapt a software multiplier to the ring::PolyMulFn interface consumed by
+/// the Saber KEM layer. The returned function references `m`; the caller owns
+/// the lifetime.
+ring::PolyMulFn as_poly_mul(const PolyMultiplier& m);
+
+}  // namespace saber::mult

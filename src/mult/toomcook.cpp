@@ -1,0 +1,180 @@
+#include "mult/toomcook.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "mult/karatsuba.hpp"
+
+namespace saber::mult {
+
+namespace {
+
+// Minimal exact rational arithmetic for the one-time matrix inversion.
+struct Rational {
+  i64 num = 0;
+  i64 den = 1;
+
+  void normalize() {
+    SABER_ENSURE(den != 0, "rational with zero denominator");
+    if (den < 0) {
+      num = -num;
+      den = -den;
+    }
+    const i64 g = std::gcd(num < 0 ? -num : num, den);
+    if (g > 1) {
+      num /= g;
+      den /= g;
+    }
+  }
+};
+
+Rational make_rat(i64 n, i64 d = 1) {
+  Rational r{n, d};
+  r.normalize();
+  return r;
+}
+
+Rational operator*(Rational a, Rational b) { return make_rat(a.num * b.num, a.den * b.den); }
+Rational operator/(Rational a, Rational b) {
+  SABER_REQUIRE(b.num != 0, "division by zero rational");
+  return make_rat(a.num * b.den, a.den * b.num);
+}
+Rational operator-(Rational a, Rational b) {
+  return make_rat(a.num * b.den - b.num * a.den, a.den * b.den);
+}
+
+// Invert the (2k-1)x(2k-1) evaluation matrix by Gauss-Jordan over Q.
+std::vector<std::vector<Rational>> invert_evaluation_matrix(
+    std::span<const i64> finite_points, unsigned points) {
+  const unsigned n = points;
+  std::vector<std::vector<Rational>> m(n, std::vector<Rational>(2 * n));
+  for (unsigned r = 0; r < n; ++r) {
+    if (r < finite_points.size()) {
+      i64 pw = 1;
+      for (unsigned c = 0; c < n; ++c) {
+        m[r][c] = make_rat(pw);
+        pw *= finite_points[r];
+      }
+    } else {
+      m[r][n - 1] = make_rat(1);  // infinity row: the leading coefficient
+    }
+    m[r][n + r] = make_rat(1);
+  }
+
+  for (unsigned col = 0; col < n; ++col) {
+    unsigned pivot = col;
+    while (pivot < n && m[pivot][col].num == 0) ++pivot;
+    SABER_ENSURE(pivot < n, "evaluation matrix is singular");
+    std::swap(m[col], m[pivot]);
+    const Rational inv_p = make_rat(1) / m[col][col];
+    for (auto& v : m[col]) v = v * inv_p;
+    for (unsigned r = 0; r < n; ++r) {
+      if (r == col || m[r][col].num == 0) continue;
+      const Rational f = m[r][col];
+      for (unsigned c = 0; c < 2 * n; ++c) m[r][c] = m[r][c] - f * m[col][c];
+    }
+  }
+
+  std::vector<std::vector<Rational>> inv(n, std::vector<Rational>(n));
+  for (unsigned r = 0; r < n; ++r) {
+    for (unsigned c = 0; c < n; ++c) inv[r][c] = m[r][n + c];
+  }
+  return inv;
+}
+
+}  // namespace
+
+ToomCookMultiplier::ToomCookMultiplier(unsigned parts)
+    : parts_(parts),
+      points_(2 * parts - 1),
+      name_("toom" + std::to_string(parts)) {
+  SABER_REQUIRE(parts == 3 || parts == 4, "supported Toom-Cook orders: 3, 4");
+  // Finite points 0, +1, -1, +2, -2, (+3); the last matrix row is infinity.
+  const i64 candidates[] = {0, 1, -1, 2, -2, 3, -3};
+  eval_points_.assign(candidates, candidates + (points_ - 1));
+
+  const auto inv = invert_evaluation_matrix(eval_points_, points_);
+  interp_num_.assign(points_, std::vector<i64>(points_));
+  interp_den_.assign(points_, 1);
+  for (unsigned r = 0; r < points_; ++r) {
+    i64 lcm = 1;
+    for (unsigned c = 0; c < points_; ++c) lcm = std::lcm(lcm, inv[r][c].den);
+    interp_den_[r] = lcm;
+    for (unsigned c = 0; c < points_; ++c) {
+      interp_num_[r][c] = inv[r][c].num * (lcm / inv[r][c].den);
+    }
+  }
+}
+
+void ToomCookMultiplier::conv(std::span<const i64> a, std::span<const i64> b,
+                              std::span<i64> out) const {
+  const std::size_t n = a.size();
+  SABER_REQUIRE(b.size() == n && n % parts_ == 0,
+                "Toom-Cook needs equal lengths divisible by the order");
+  SABER_REQUIRE(out.size() == 2 * n - 1, "output length mismatch");
+  const std::size_t part = n / parts_;
+
+  // Evaluate the `parts_` limbs of each operand at every point (Horner).
+  auto evaluate = [&](std::span<const i64> p, std::vector<std::vector<i64>>& evals) {
+    evals.assign(points_, std::vector<i64>(part, 0));
+    for (std::size_t k = 0; k < part; ++k) {
+      std::vector<i64> limbs(parts_);
+      for (unsigned l = 0; l < parts_; ++l) limbs[l] = p[l * part + k];
+      for (std::size_t i = 0; i < eval_points_.size(); ++i) {
+        const i64 x = eval_points_[i];
+        i64 acc = limbs[parts_ - 1];
+        for (unsigned l = parts_ - 1; l > 0; --l) acc = acc * x + limbs[l - 1];
+        evals[i][k] = acc;
+      }
+      evals[points_ - 1][k] = limbs[parts_ - 1];  // infinity
+    }
+    ops_.coeff_mults += (parts_ - 1) * eval_points_.size() * part;
+    ops_.coeff_adds += (parts_ - 1) * eval_points_.size() * part;
+  };
+  std::vector<std::vector<i64>> ea, eb;
+  evaluate(a, ea);
+  evaluate(b, eb);
+
+  // Pairwise products at each point; Karatsuba on the sub-multiplications,
+  // as in the layered software multipliers [6].
+  std::vector<std::vector<i64>> prod(points_);
+  for (unsigned i = 0; i < points_; ++i) {
+    prod[i].assign(2 * part - 1, 0);
+    karatsuba_conv(ea[i], eb[i], prod[i], /*levels=*/32, ops_);
+  }
+
+  // Interpolate the limb products W_0..W_{2k-2} and recombine at x^part.
+  std::ranges::fill(out, 0);
+  for (unsigned j = 0; j < points_; ++j) {
+    for (std::size_t k = 0; k < 2 * part - 1; ++k) {
+      i64 acc = 0;
+      for (unsigned i = 0; i < points_; ++i) acc += interp_num_[j][i] * prod[i][k];
+      SABER_ENSURE(acc % interp_den_[j] == 0, "Toom-Cook interpolation not exact");
+      out[static_cast<std::size_t>(j) * part + k] += acc / interp_den_[j];
+    }
+  }
+  ops_.coeff_mults += static_cast<u64>(points_) * points_ * (2 * part - 1);
+  ops_.coeff_adds += static_cast<u64>(points_) * points_ * (2 * part - 1);
+}
+
+ring::Poly ToomCookMultiplier::multiply(const ring::Poly& a, const ring::Poly& b,
+                                        unsigned qbits) const {
+  auto av = centered_lift(a, qbits);
+  auto bv = centered_lift(b, qbits);
+  // Zero-pad to a multiple of the order (Toom-3 on 256 coefficients works on
+  // 258); the padded convolution tail is zero and is dropped before folding.
+  const std::size_t padded = ceil_div<std::size_t>(ring::kN, parts_) * parts_;
+  av.resize(padded, 0);
+  bv.resize(padded, 0);
+  std::vector<i64> conv_out(2 * padded - 1);
+  conv(av, bv, conv_out);
+  for (std::size_t i = 2 * ring::kN - 1; i < conv_out.size(); ++i) {
+    SABER_ENSURE(conv_out[i] == 0, "padded convolution tail must vanish");
+  }
+  return fold_negacyclic<ring::kN>(
+      std::span<const i64>(conv_out.data(), 2 * ring::kN - 1), qbits);
+}
+
+}  // namespace saber::mult

@@ -1,0 +1,56 @@
+// Toom-Cook linear convolution, generic over the splitting order.
+//
+// Toom-4 is the algorithm used by Saber's original software implementation
+// [3] and the M4 implementation [6] (which layer Karatsuba under the seven
+// size-64 sub-multiplications); Toom-3 is provided as the intermediate
+// design point between Karatsuba (= Toom-2) and Toom-4.
+//
+// Interpolation uses an exact rational inverse of the evaluation matrix over
+// small integer points; every division is checked to be exact, so the
+// algorithm is valid over Z (and hence over any Z_{2^k}) without the
+// fixed-point tricks real 16-bit implementations need.
+#pragma once
+
+#include <vector>
+
+#include "mult/multiplier.hpp"
+
+namespace saber::mult {
+
+class ToomCookMultiplier : public PolyMultiplier {
+ public:
+  /// `parts`: splitting order k (3 or 4); operand length must be divisible
+  /// by k. Evaluation points: {0, ±1, ±2, ..., ∞} (2k-1 points).
+  explicit ToomCookMultiplier(unsigned parts);
+
+  std::string_view name() const override { return name_; }
+  unsigned parts() const { return parts_; }
+
+  ring::Poly multiply(const ring::Poly& a, const ring::Poly& b,
+                      unsigned qbits) const override;
+
+  /// Signed integer linear convolution; length divisible by `parts`.
+  void conv(std::span<const i64> a, std::span<const i64> b, std::span<i64> out) const;
+
+ private:
+  unsigned parts_;
+  unsigned points_;
+  std::string name_;
+  std::vector<i64> eval_points_;            // finite points; last row is infinity
+  std::vector<std::vector<i64>> interp_num_;  // row-scaled exact inverse
+  std::vector<i64> interp_den_;
+};
+
+/// The paper-lineage configuration ([3]/[6]): Toom-Cook-4.
+class ToomCook4Multiplier final : public ToomCookMultiplier {
+ public:
+  ToomCook4Multiplier() : ToomCookMultiplier(4) {}
+};
+
+/// Intermediate design point.
+class ToomCook3Multiplier final : public ToomCookMultiplier {
+ public:
+  ToomCook3Multiplier() : ToomCookMultiplier(3) {}
+};
+
+}  // namespace saber::mult

@@ -1,0 +1,273 @@
+#include "multipliers/dsp_packed.hpp"
+
+#include <array>
+#include <deque>
+
+#include "common/check.hpp"
+#include "ring/packing.hpp"
+
+namespace saber::arch {
+
+namespace {
+
+constexpr unsigned kQ = MemoryMap::kQBits;
+constexpr u64 kQMask = (u64{1} << kQ) - 1;
+
+/// Everything the unpack stage needs to know about the operands — in the RTL
+/// these travel alongside the DSP pipeline.
+struct LaneMeta {
+  u16 a0 = 0, a1 = 0;
+  unsigned m0 = 0, m1 = 0;
+  bool sign0 = false, sign1 = false, flip = false;
+};
+
+struct DspInputs {
+  i64 a_lo, s_lo, c;
+};
+
+LaneMeta make_meta(u16 a0, u16 a1, i8 s0, i8 s1) {
+  LaneMeta m;
+  m.a0 = a0;
+  m.a1 = a1;
+  m.sign0 = s0 < 0;
+  m.sign1 = s1 < 0;
+  m.m0 = static_cast<unsigned>(m.sign0 ? -s0 : s0);
+  m.m1 = static_cast<unsigned>(m.sign1 ? -s1 : s1);
+  m.flip = m.sign0 != m.sign1;
+  SABER_REQUIRE(m.m0 <= 4 && m.m1 <= 4,
+                "HS-II packing supports secret magnitudes 0..4 (Saber/FireSaber)");
+  return m;
+}
+
+DspInputs make_inputs(const LaneMeta& m, const PackingSpec& spec) {
+  const unsigned a_u = spec.ports.a_bits - 1;  // usable unsigned widths
+  const unsigned b_u = spec.ports.b_bits - 1;
+  // A = +/-a0 + a1*2^n as a pattern_bits-wide two's-complement pattern,
+  // split into the DSP's unsigned A width plus the a' residue.
+  const i64 a_full =
+      (m.flip ? -static_cast<i64>(m.a0) : static_cast<i64>(m.a0)) +
+      (static_cast<i64>(m.a1) << spec.shift);
+  const u64 a_pat = to_twos_complement(a_full, spec.pattern_bits);
+  const u64 a_lo = a_pat & mask64(a_u);
+  const u64 a_hi = a_pat >> a_u;
+  // S = m0 + m1*2^n, split at the unsigned B width (the wide slice fits S
+  // entirely, so s' is zero and the a*s' path disappears).
+  const u64 s_full = m.m0 | (static_cast<u64>(m.m1) << spec.shift);
+  const u64 s_lo = s_full & mask64(b_u);
+  const u64 s_hi = s_full >> b_u;
+  // C port: a*s' + a'*s, aligned (a's' is dropped — it only affects bits
+  // above the top lane's modulus window).
+  const u64 c = (s_hi != 0 ? (a_lo << b_u) : 0) + ((a_hi * s_lo) << a_u);
+  return {static_cast<i64>(a_lo), static_cast<i64>(s_lo), static_cast<i64>(c)};
+}
+
+u16 neg_q(u64 v) { return static_cast<u16>(((u64{1} << kQ) - (v & kQMask)) & kQMask); }
+
+DspPackedMultiplier::Lanes unpack_lanes(i64 p_raw, const LaneMeta& m,
+                                        const PackingSpec& spec) {
+  const u64 p = static_cast<u64>(p_raw);
+  const unsigned n = spec.shift;
+  const u64 l0 = bit_field(p, n - 1, 0);
+  u64 l1 = bit_field(p, 2 * n - 1, n);
+  u64 l2 = bit_field(p, 2 * n + kQ - 1, 2 * n);
+
+  // Parity fixes (§3.2). The middle lane can receive a borrow from a negated
+  // a0*s0 (sign-differ case); the top lane can receive a borrow or a carry
+  // from the middle sum (the carry only exists on the 15-bit DSP48 packing —
+  // the wide lane of the 2^16 packing holds the full cross sum). In each
+  // sign configuration the error direction is unique, and the lane's low bit
+  // is predictable from the operand low bits, so a mismatch identifies the
+  // +/-1 exactly.
+  const unsigned exp1 = ((m.a0 & m.m1) ^ (m.a1 & m.m0)) & 1u;
+  if ((l1 & 1u) != exp1) {
+    l1 = (l1 + (m.flip ? 1 : mask64(n))) & mask64(n);
+  }
+  const unsigned exp2 = (m.a1 & m.m1) & 1u;
+  if ((l2 & 1u) != exp2) {
+    l2 = (l2 + (m.flip ? 1 : kQMask)) & kQMask;
+  }
+
+  // Conditional inversions: a0s1+a1s0 if s0 < 0; a0s0 and a1s1 if s1 < 0.
+  DspPackedMultiplier::Lanes out{};
+  out.a0s0 = static_cast<u16>(l0 & kQMask);
+  if (m.sign1) out.a0s0 = neg_q(out.a0s0);
+  out.cross = static_cast<u16>(l1 & kQMask);
+  if (m.sign0) out.cross = neg_q(out.cross);
+  out.a1s1 = static_cast<u16>(l2 & kQMask);
+  if (m.sign1) out.a1s1 = neg_q(out.a1s1);
+  return out;
+}
+
+}  // namespace
+
+DspPackedMultiplier::DspPackedMultiplier(unsigned dsp_pipeline, const PackingSpec& spec)
+    : pipeline_(dsp_pipeline), spec_(spec) {
+  SABER_REQUIRE(pipeline_ >= 1 && pipeline_ <= 4, "DSP pipeline depth out of range");
+  SABER_REQUIRE(2 * spec.shift + kQ <= spec.ports.p_bits - 2,
+                "lanes do not fit the DSP ALU width");
+  // S = m0 + m1*2^n is (n+3) bits; the split keeps at most one s' bit, so the
+  // packing shift is bounded by the B port width.
+  SABER_REQUIRE(spec.shift + 3 <= spec.ports.b_bits,
+                "packed secret operand exceeds the DSP B port");
+  build_area();
+}
+
+DspPackedMultiplier::Lanes DspPackedMultiplier::pack_multiply(u16 a0, u16 a1, i8 s0,
+                                                              i8 s1,
+                                                              const PackingSpec& spec) {
+  const auto meta = make_meta(a0, a1, s0, s1);
+  const auto in = make_inputs(meta, spec);
+  return unpack_lanes(in.a_lo * in.s_lo + in.c, meta, spec);
+}
+
+MultiplierResult DspPackedMultiplier::multiply(const ring::Poly& a,
+                                               const ring::SecretPoly& s,
+                                               const ring::Poly* accumulate) {
+  MultiplierResult res;
+  hw::Bram64 mem(MemoryMap::kTotalWords);
+  load_operands(mem, a, s);
+  if (trace_memory_) mem.enable_trace();
+  auto& st = res.cycles;
+
+  std::array<u16, ring::kN> acc{};
+  if (accumulate != nullptr) {
+    SABER_REQUIRE(accumulate->reduced(kQ), "accumulator must be reduced mod q");
+    for (std::size_t j = 0; j < ring::kN; ++j) acc[j] = (*accumulate)[j];
+  }
+
+  auto run_cycle = [&] {
+    mem.tick();
+    ++st.total;
+  };
+
+  // --- operand preload (same memory schedule as the 512-MAC design) --------
+  for (std::size_t w = 0; w < MemoryMap::kSecretWords; ++w) {
+    mem.read(MemoryMap::kSecretBase + w);
+    run_cycle();
+  }
+  run_cycle();
+  st.preload += MemoryMap::kSecretWords + 1;
+  for (std::size_t w = 0; w < 13; ++w) {
+    mem.read(MemoryMap::kPublicBase + w);
+    run_cycle();
+  }
+  run_cycle();
+  run_cycle();
+  st.preload += 14;
+  st.stall_public_load += 1;
+
+  // --- compute: 128 pipelined DSP cycles + pipeline drain -------------------
+  std::vector<hw::Dsp48> dsps(kDsps, hw::Dsp48(pipeline_, spec_.ports));
+  std::array<i8, ring::kN> b{};
+  for (std::size_t j = 0; j < ring::kN; ++j) b[j] = s[j];
+
+  std::deque<std::array<LaneMeta, kDsps>> meta_queue;
+  std::size_t next_public_word = 13;
+  const std::size_t input_cycles = ring::kN / 2;
+
+  auto drain_outputs = [&] {
+    if (!dsps[0].p_valid()) return;
+    SABER_ENSURE(!meta_queue.empty(), "DSP pipeline / metadata desync");
+    const auto metas = meta_queue.front();
+    meta_queue.pop_front();
+    for (unsigned d = 0; d < kDsps; ++d) {
+      const auto lanes = unpack_lanes(dsps[d].p(), metas[d], spec_);
+      const std::size_t j0 = 2 * d;
+      acc[j0] = hw::mac_accumulate(acc[j0], lanes.a0s0, false, kQ);
+      acc[j0 + 1] = hw::mac_accumulate(acc[j0 + 1], lanes.cross, false, kQ);
+      // lane2 targets acc[2d+2]; for the last DSP this wraps negacyclically.
+      const bool wrap = j0 + 2 == ring::kN;
+      acc[(j0 + 2) % ring::kN] =
+          hw::mac_accumulate(acc[(j0 + 2) % ring::kN], lanes.a1s1, wrap, kQ);
+    }
+    res.power.ff_toggles += ring::kN * kQ;
+  };
+
+  for (std::size_t t = 0; t < input_cycles; ++t) {
+    if (next_public_word < MemoryMap::kPublicWords) {
+      mem.read(MemoryMap::kPublicBase + next_public_word);
+      ++next_public_word;
+    }
+    const u16 a0 = a[2 * t];
+    const u16 a1 = a[2 * t + 1];
+    std::array<LaneMeta, kDsps> metas;
+    for (unsigned d = 0; d < kDsps; ++d) {
+      metas[d] = make_meta(a0, a1, b[2 * d], b[2 * d + 1]);
+      const auto in = make_inputs(metas[d], spec_);
+      dsps[d].set_inputs(in.a_lo, in.s_lo, in.c);
+    }
+    meta_queue.push_back(metas);
+    for (auto& dsp : dsps) dsp.tick();
+    drain_outputs();
+    // Shift the secret register by x^2 (two negacyclic steps).
+    for (int rep = 0; rep < 2; ++rep) {
+      const i8 last = b[ring::kN - 1];
+      for (std::size_t j = ring::kN - 1; j > 0; --j) b[j] = b[j - 1];
+      b[0] = static_cast<i8>(-last);
+    }
+    res.power.ff_toggles += kDsps * 71 + ring::kN * 4;
+    run_cycle();
+    ++st.compute;
+  }
+  for (unsigned t = 0; t < pipeline_; ++t) {
+    for (auto& dsp : dsps) dsp.tick();
+    drain_outputs();
+    run_cycle();
+    ++st.pipeline;
+  }
+  SABER_ENSURE(meta_queue.empty(), "unconsumed DSP results");
+
+  // --- write back ------------------------------------------------------------
+  run_cycle();
+  ring::Poly out;
+  for (std::size_t j = 0; j < ring::kN; ++j) out[j] = acc[j];
+  const auto words =
+      ring::pack_words(std::span<const u16>(out.c.data(), out.c.size()), kQ);
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    mem.write(MemoryMap::kAccBase + w, words[w]);
+    run_cycle();
+  }
+  st.readout += 1 + words.size();
+
+  res.product = out;
+  res.power.ff_bits = area_.total().ff;
+  res.power.bram_reads = mem.reads();
+  res.power.bram_writes = mem.writes();
+  for (const auto& dsp : dsps) res.power.dsp_ops += dsp.ops();
+  if (trace_memory_) res.mem_trace = mem.trace();
+  SABER_ENSURE(read_result(mem) == out, "memory image disagrees with accumulator");
+  return res;
+}
+
+void DspPackedMultiplier::build_area() {
+  using namespace hw;
+  const bool wide = spec_.ports.b_bits > 18;
+  area_.add(wide ? "wide DSP slice (26x23 + 58b ALU)" : "DSP48E2 slice (26x17 + 48b ALU)",
+            kDsps, dsp_slice());
+  area_.add("A packer: conditional negate a0 (+/- block)", kDsps, cond_negate(kQ));
+  if (wide) {
+    // S fits the B port whole: no s' path; a' grows to 3 bits (8:1 mux) but
+    // the C-port value is a single term — no align adder, smaller fix logic.
+    area_.add("small multiplier: a'*s mux (8:1 x 19b)", kDsps, mux(8, 19));
+    area_.add("lane parity fix (borrow only)", kDsps, glue_lut(10));
+  } else {
+    area_.add("small multiplier: a'*s mux (4:1 x 19b)", kDsps, mux(4, 19));
+    area_.add("small multiplier: a*s' mask", kDsps, glue_lut(13));
+    area_.add("small multiplier: C-port align adder", kDsps, adder(20));
+    area_.add("lane parity fix (+/-1 correction)", kDsps, glue_lut(16));
+  }
+  area_.add("accumulator add/sub (odd coefficients)", kDsps, add_sub(kQ));
+  area_.add("accumulator 3-way add/sub (even coefficients)", kDsps,
+            add_sub(kQ) + add_sub(kQ));
+  area_.add("operand/pipeline registers (A,S,flags)", kDsps, reg(71));
+  area_.add("secret polynomial buffer (256 x 4b)", 1, reg(1024));
+  area_.add("secret shift wrap negate (x^2)", 2, cond_negate(4));
+  area_.add("accumulator buffer (256 x 13b)", 1, reg(13 * 256));
+  area_.add("public polynomial buffer (676b)", 1, reg(676));
+  area_.add("public read-while-load mux", 1, mux(2, 64) + glue_lut(18));
+  area_.add("control FSM + address generation", 1,
+            counter(9) + counter(6) + glue_lut(150) + reg(70));
+  area_.add("memory interface", 1, glue_lut(30) + reg(8));
+}
+
+}  // namespace saber::arch

@@ -1,0 +1,86 @@
+// HS-II (§3.2): DSP-packed high-speed multiplier.
+//
+// Two consecutive public coefficients and two consecutive (shifted-)secret
+// coefficients are packed into one 26x17 unsigned DSP multiplication:
+//
+//   A = +/-a0 + a1 * 2^15   (the +/- block flips a0 when sign(s0) != sign(s1))
+//   S = m0 + m1 * 2^15      (secret magnitudes, 0..4)
+//   A*S = a0s0 + (a0s1 + a1s0) * 2^15 + a1s1 * 2^30
+//
+// so one DSP delivers four coefficient products per cycle: 128 DSPs compute a
+// full 256-coefficient multiplication in 128 cycles (131 with the three-stage
+// DSP pipeline). Because A is 28 bits and S is 18, the operands are split as
+// A = a + a'*2^26, S = s + s'*2^17; the DSP computes a*s while a LUT-based
+// "small multiplier" provides a*s' and a'*s through the DSP's C port (a'*s'
+// only affects bits >= 43 and is dropped, as the paper notes).
+//
+// Lane extraction applies the paper's corrections:
+//   * invert a0s1+a1s0 if s0 < 0; invert a0s0 and a1s1 if s1 < 0;
+//   * parity fixes: the middle lane can borrow/carry one unit into its
+//     neighbour; the low bit of each lane is predictable from the operand
+//     low bits (a1s1[0] == a1[0] & s1[0]), so a mismatch identifies the +/-1
+//     error, whose direction is determined by the sign configuration.
+//
+// The model drives 128 bit-exact Dsp48 instances through their pipelines and
+// is verified against the schoolbook reference over every sign combination.
+#pragma once
+
+#include "hw/dsp48.hpp"
+#include "multipliers/hw_multiplier.hpp"
+
+namespace saber::arch {
+
+/// Packing parameters for one DSP generation. The paper (§5) notes that
+/// "as future generations of FPGAs are expected to bring larger DSPs, this
+/// optimization might bring even better results": kPackingWide models a
+/// Versal-class 27x24 slice, where the widened packing (2^16) makes the
+/// whole secret operand fit the B port (no s' split) and gives the middle
+/// lane a full 16 bits (no carry overflow), shrinking the correction logic.
+struct PackingSpec {
+  std::string_view name;
+  hw::DspPorts ports;
+  unsigned shift;          ///< packing exponent n in A = +/-a0 + a1*2^n
+  unsigned pattern_bits;   ///< width of the packed A bit pattern
+};
+
+inline constexpr PackingSpec kPackingDsp48{"hs2-dsp", hw::kDsp48E2, 15, 28};
+inline constexpr PackingSpec kPackingWide{"hs2-wide", hw::kDsp58, 16, 29};
+
+class DspPackedMultiplier final : public HwMultiplier {
+ public:
+  static constexpr unsigned kDsps = 128;
+  static constexpr unsigned kPack = 15;  ///< §3.2's packing shift on DSP48E2
+
+  explicit DspPackedMultiplier(unsigned dsp_pipeline = 3,
+                               const PackingSpec& spec = kPackingDsp48);
+
+  std::string_view name() const override { return spec_.name; }
+  MultiplierResult multiply(const ring::Poly& a, const ring::SecretPoly& s,
+                            const ring::Poly* accumulate = nullptr) override;
+  const hw::AreaLedger& area() const override { return area_; }
+  unsigned logic_depth() const override { return 2; }  // mux+adder around DSP
+  u64 headline_cycles() const override { return 128 + pipeline_; }
+  bool headline_includes_overhead() const override { return false; }
+
+  /// The per-DSP datapath in isolation: returns the three corrected,
+  /// sign-applied lane values (mod 2^13) for operands (a0, a1, s0, s1).
+  /// Exposed so tests can sweep it exhaustively over sign combinations.
+  struct Lanes {
+    u16 a0s0;
+    u16 cross;  ///< a0*s1 + a1*s0
+    u16 a1s1;
+  };
+  static Lanes pack_multiply(u16 a0, u16 a1, i8 s0, i8 s1,
+                             const PackingSpec& spec = kPackingDsp48);
+
+  const PackingSpec& spec() const { return spec_; }
+
+ private:
+  void build_area();
+
+  unsigned pipeline_;
+  PackingSpec spec_;
+  hw::AreaLedger area_;
+};
+
+}  // namespace saber::arch

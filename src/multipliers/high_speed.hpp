@@ -1,0 +1,59 @@
+// High-speed schoolbook multiplier architectures:
+//
+//  * BaselineParallel — the [10] (Roy-Basso, TCHES'20) design re-modelled for
+//    Table 1's comparison rows: `macs` parallel MAC units, each with its own
+//    shift-and-add coefficient multiplier (Algorithm 2).
+//  * Centralized (HS-I, §3.1) — identical schedule, but the five multiples
+//    {0, a, 2a, 3a, 4a} (and 5a for LightSaber secrets) are computed once per
+//    cycle by a central generator and broadcast, so each MAC shrinks to a
+//    multiplexer plus an add/sub. Same cycle count, significantly fewer LUTs.
+//
+// Both support 256 MACs (one outer-loop iteration per cycle, 256 compute
+// cycles) and 512 MACs (two iterations per cycle, 128 compute cycles, with
+// three-way accumulator adders).
+//
+// Schedule (matching §2.2/§4.1's accounting):
+//   secret burst     16 reads + 1 latency        = 17 cycles
+//   public preload   13 reads + 1 latency        = 14 cycles
+//   stream alignment                              = 1 cycle
+//   compute          256 / macs outer iterations  = 256 or 128 cycles
+//                    (remaining 39 public words stream during compute)
+//   writeback        1 staging + 52 writes        = 53 cycles
+// Total with overhead: 341 (256 MACs) / 213 (512 MACs) — the paper quotes
+// "128 cycles pure, 213 with the memory overhead (39 %)" for the 512-MAC
+// configuration; Table 1 reports the pure count.
+#pragma once
+
+#include "multipliers/hw_multiplier.hpp"
+
+namespace saber::arch {
+
+struct HighSpeedConfig {
+  unsigned macs = 256;       ///< power of two in [64, 1024]; Table 1 uses 256/512
+  bool centralized = false;  ///< false = [10] baseline, true = HS-I
+  unsigned max_mag = 4;      ///< largest |secret| supported (5 for LightSaber)
+};
+
+class HighSpeedMultiplier final : public HwMultiplier {
+ public:
+  explicit HighSpeedMultiplier(const HighSpeedConfig& cfg);
+
+  std::string_view name() const override { return name_; }
+  MultiplierResult multiply(const ring::Poly& a, const ring::SecretPoly& s,
+                            const ring::Poly* accumulate = nullptr) override;
+  const hw::AreaLedger& area() const override { return area_; }
+  unsigned logic_depth() const override;
+  u64 headline_cycles() const override { return 256ull * 256ull / cfg_.macs; }
+  bool headline_includes_overhead() const override { return false; }
+
+  const HighSpeedConfig& config() const { return cfg_; }
+
+ private:
+  void build_area();
+
+  HighSpeedConfig cfg_;
+  std::string name_;
+  hw::AreaLedger area_;
+};
+
+}  // namespace saber::arch

@@ -1,0 +1,52 @@
+#include "multipliers/hw_multiplier.hpp"
+
+#include "common/check.hpp"
+#include "multipliers/dsp_packed.hpp"
+#include "multipliers/high_speed.hpp"
+#include "multipliers/karatsuba_hw.hpp"
+#include "multipliers/lightweight.hpp"
+#include "multipliers/ntt_hw.hpp"
+
+namespace saber::arch {
+
+ring::PolyMulFn as_poly_mul(HwMultiplier& m) {
+  return [&m](const ring::Poly& a, const ring::SecretPoly& s, unsigned qbits) {
+    SABER_REQUIRE(qbits <= MemoryMap::kQBits,
+                  "hardware multiplies mod 2^13; requested modulus is wider");
+    auto res = m.multiply(a, s);
+    return res.product.reduce(qbits);
+  };
+}
+
+std::unique_ptr<HwMultiplier> make_architecture(std::string_view name) {
+  if (name == "lw4") return std::make_unique<LightweightMultiplier>(LightweightConfig{4, 4});
+  if (name == "lw8") return std::make_unique<LightweightMultiplier>(LightweightConfig{8, 4});
+  if (name == "lw16")
+    return std::make_unique<LightweightMultiplier>(LightweightConfig{16, 4});
+  if (name == "hs1-256")
+    return std::make_unique<HighSpeedMultiplier>(HighSpeedConfig{256, true});
+  if (name == "hs1-512")
+    return std::make_unique<HighSpeedMultiplier>(HighSpeedConfig{512, true});
+  if (name == "hs2") return std::make_unique<DspPackedMultiplier>();
+  if (name == "hs2-wide")
+    return std::make_unique<DspPackedMultiplier>(3, kPackingWide);
+  if (name == "karatsuba-hw") return std::make_unique<KaratsubaHwMultiplier>();
+  if (name == "ntt-hw") return std::make_unique<NttHwMultiplier>();
+  if (name == "baseline-256")
+    return std::make_unique<HighSpeedMultiplier>(HighSpeedConfig{256, false});
+  if (name == "baseline-512")
+    return std::make_unique<HighSpeedMultiplier>(HighSpeedConfig{512, false});
+  SABER_REQUIRE(false, "unknown architecture name: " + std::string(name));
+  return nullptr;  // unreachable
+}
+
+std::vector<std::unique_ptr<HwMultiplier>> make_all_architectures() {
+  std::vector<std::unique_ptr<HwMultiplier>> v;
+  for (const auto name :
+       {"lw4", "hs1-256", "hs1-512", "hs2", "baseline-256", "baseline-512"}) {
+    v.push_back(make_architecture(name));
+  }
+  return v;
+}
+
+}  // namespace saber::arch

@@ -1,0 +1,83 @@
+// Common interface of the cycle-accurate multiplier architecture models.
+//
+// Every architecture consumes a public polynomial (reduced mod q = 2^13) and
+// a small signed secret, runs its control FSM cycle by cycle against the
+// shared 64-bit memory model, and reports the product together with the cycle
+// breakdown, structural area and an activity-based power proxy.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "hw/area.hpp"
+#include "hw/bram.hpp"
+#include "hw/mac.hpp"
+#include "multipliers/memory_map.hpp"
+#include "ring/polyvec.hpp"
+
+namespace saber::arch {
+
+struct MultiplierResult {
+  ring::Poly product;     ///< negacyclic product, reduced mod 2^13
+  hw::CycleStats cycles;
+  hw::PowerProxy power;
+  /// Memory-access trace (only populated after enable_memory_trace()); used
+  /// by the constant-time tests to show the access pattern is secret-
+  /// independent, the property §3.1 claims for the proposed designs.
+  std::vector<hw::Bram64::Access> mem_trace;
+};
+
+class HwMultiplier {
+ public:
+  virtual ~HwMultiplier() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Run one full polynomial multiplication through the cycle-accurate model.
+  /// When `accumulate` is non-null its value is pre-loaded into the
+  /// accumulator, modelling the MAC mode used for Saber's inner products
+  /// (§5: "there is no need to read the results from the accumulator after
+  /// each multiplication when the multiplier is used to compute an inner
+  /// product").
+  virtual MultiplierResult multiply(const ring::Poly& a, const ring::SecretPoly& s,
+                                    const ring::Poly* accumulate = nullptr) = 0;
+
+  /// Structural area inventory (the paper's Table 1 columns).
+  virtual const hw::AreaLedger& area() const = 0;
+
+  /// Combinational logic depth of the critical path, in LUT levels — the
+  /// proxy for achievable clock frequency discussed in §5.2.
+  virtual unsigned logic_depth() const = 0;
+
+  /// Pure-multiplication cycle count (the paper's Table 1 "Cycles" column,
+  /// which excludes memory overhead for the high-speed designs and includes
+  /// it for LW — see include_overhead_in_headline()).
+  virtual u64 headline_cycles() const = 0;
+
+  /// Whether the paper's headline number for this design includes memory
+  /// overhead (true only for the lightweight multiplier).
+  virtual bool headline_includes_overhead() const = 0;
+
+  /// Record the memory-access trace of subsequent multiplications into
+  /// MultiplierResult::mem_trace.
+  void enable_memory_trace() { trace_memory_ = true; }
+
+ protected:
+  bool trace_memory_ = false;
+};
+
+/// Adapt an architecture model to the ring::PolyMulFn interface so the full
+/// Saber KEM can run on simulated hardware. Products are computed mod 2^13
+/// and reduced to the requested modulus (2^p divides 2^q).
+ring::PolyMulFn as_poly_mul(HwMultiplier& m);
+
+/// Instantiate every architecture the paper evaluates, in Table-1 order:
+/// LW-4, HS-I-256, HS-I-512, HS-II, baseline [10]-256, [10]-512.
+std::vector<std::unique_ptr<HwMultiplier>> make_all_architectures();
+
+/// Factory by name: "lw4", "lw8", "lw16", "hs1-256", "hs1-512", "hs2",
+/// "baseline-256", "baseline-512".
+std::unique_ptr<HwMultiplier> make_architecture(std::string_view name);
+
+}  // namespace saber::arch

@@ -1,0 +1,56 @@
+// Comparison model of a parallel Karatsuba hardware multiplier in the style
+// of Zhu et al. [11] ("A High-performance Hardware Implementation of Saber
+// Based on Karatsuba Algorithm"), which §5.2 compares against qualitatively:
+// "it is expected that their multiplier can achieve a very low cycle count,
+// while probably requiring a higher area consumption ... their multiplier
+// seems to require a much lower clock frequency (100 MHz vs 250 MHz)".
+//
+// The model makes those trade-offs concrete:
+//  * `levels` Karatsuba splittings produce 3^levels subproducts of size
+//    N/2^levels, computed by `units` parallel schoolbook engines;
+//  * Karatsuba cannot exploit Saber's small secrets: the evaluation sums grow
+//    by one bit per level, so every engine needs full-width LUT multipliers —
+//    the area penalty the paper alludes to;
+//  * the pre-processing adder pyramid and the post-processing recombination
+//    lengthen the critical path — the clock penalty.
+//
+// This architecture is NOT proposed by the paper; it exists to reproduce the
+// §5.2 comparison and is labelled accordingly in the benches.
+#pragma once
+
+#include "multipliers/hw_multiplier.hpp"
+
+namespace saber::arch {
+
+struct KaratsubaHwConfig {
+  unsigned levels = 4;  ///< splitting levels (subproblem size 256/2^levels)
+  unsigned units = 81;  ///< parallel subproduct engines
+};
+
+class KaratsubaHwMultiplier final : public HwMultiplier {
+ public:
+  explicit KaratsubaHwMultiplier(const KaratsubaHwConfig& cfg = {});
+
+  std::string_view name() const override { return name_; }
+  MultiplierResult multiply(const ring::Poly& a, const ring::SecretPoly& s,
+                            const ring::Poly* accumulate = nullptr) override;
+  const hw::AreaLedger& area() const override { return area_; }
+
+  /// Pre-add pyramid + wide multiplier + recombination tree: much deeper
+  /// than the 3-level MAC designs, matching the paper's clock observation.
+  unsigned logic_depth() const override { return 2 * cfg_.levels + 4; }
+
+  u64 headline_cycles() const override;
+  bool headline_includes_overhead() const override { return false; }
+
+  const KaratsubaHwConfig& config() const { return cfg_; }
+
+ private:
+  void build_area();
+
+  KaratsubaHwConfig cfg_;
+  std::string name_;
+  hw::AreaLedger area_;
+};
+
+}  // namespace saber::arch

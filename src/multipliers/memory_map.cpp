@@ -1,0 +1,43 @@
+#include "multipliers/memory_map.hpp"
+
+#include "common/check.hpp"
+#include "ring/packing.hpp"
+
+namespace saber::arch {
+
+void load_operands(hw::Bram64& mem, const ring::Poly& pub, const ring::SecretPoly& s) {
+  SABER_REQUIRE(pub.reduced(MemoryMap::kQBits), "public operand must be reduced mod q");
+  SABER_REQUIRE(s.max_magnitude() <= 5, "secret magnitude exceeds Saber's range");
+  const auto pub_words = ring::pack_words(
+      std::span<const u16>(pub.c.data(), pub.c.size()), MemoryMap::kQBits);
+  SABER_ENSURE(pub_words.size() == MemoryMap::kPublicWords, "public packing size");
+  for (std::size_t i = 0; i < pub_words.size(); ++i) {
+    mem.poke(MemoryMap::kPublicBase + i, pub_words[i]);
+  }
+  const auto sec_words = ring::pack_secret_words(s, MemoryMap::kSecretBits);
+  SABER_ENSURE(sec_words.size() == MemoryMap::kSecretWords, "secret packing size");
+  for (std::size_t i = 0; i < sec_words.size(); ++i) {
+    mem.poke(MemoryMap::kSecretBase + i, sec_words[i]);
+  }
+}
+
+ring::Poly read_result(const hw::Bram64& mem) {
+  std::vector<u64> words(MemoryMap::kAccWords);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    words[i] = mem.peek(MemoryMap::kAccBase + i);
+  }
+  ring::Poly r;
+  ring::unpack_words(words, MemoryMap::kQBits, r.c);
+  return r;
+}
+
+void store_accumulator(hw::Bram64& mem, const ring::Poly& acc) {
+  SABER_REQUIRE(acc.reduced(MemoryMap::kQBits), "accumulator must be reduced mod q");
+  const auto words = ring::pack_words(
+      std::span<const u16>(acc.c.data(), acc.c.size()), MemoryMap::kQBits);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    mem.poke(MemoryMap::kAccBase + i, words[i]);
+  }
+}
+
+}  // namespace saber::arch

@@ -1,0 +1,38 @@
+// Shared 64-bit memory layout for all multiplier architectures (§2.2).
+//
+//   public polynomial : 256 x 13-bit = 52 words
+//   secret polynomial : 256 x 4-bit  = 16 words (16 coefficients per word,
+//                       two's complement, as in [10])
+//   accumulator/result: 256 x 13-bit = 52 words
+#pragma once
+
+#include "hw/bram.hpp"
+#include "ring/poly.hpp"
+
+namespace saber::arch {
+
+struct MemoryMap {
+  static constexpr std::size_t kPublicBase = 0;
+  static constexpr std::size_t kPublicWords = 52;
+  static constexpr std::size_t kSecretBase = 64;
+  static constexpr std::size_t kSecretWords = 16;
+  static constexpr std::size_t kAccBase = 96;
+  static constexpr std::size_t kAccWords = 52;
+  static constexpr std::size_t kTotalWords = 160;
+
+  static constexpr unsigned kQBits = 13;      ///< operand/result modulus 2^13
+  static constexpr unsigned kSecretBits = 4;  ///< packed secret width
+};
+
+/// Write the operands into memory via the backdoor (models the state the
+/// surrounding coprocessor leaves in BRAM before starting the multiplier).
+void load_operands(hw::Bram64& mem, const ring::Poly& pub, const ring::SecretPoly& s);
+
+/// Read the packed 13-bit result from the accumulator region.
+ring::Poly read_result(const hw::Bram64& mem);
+
+/// Write a packed 13-bit polynomial into the accumulator region (used to
+/// model MAC-mode accumulation across inner-product terms).
+void store_accumulator(hw::Bram64& mem, const ring::Poly& acc);
+
+}  // namespace saber::arch

@@ -1,0 +1,53 @@
+// Comparison model of an NTT-based hardware multiplier for Saber's
+// NTT-unfriendly ring (the technique of Chung et al. [14], used in hardware
+// by RISQ-V [9]: multiply over a large NTT-friendly prime, lift exactly,
+// reduce mod 2^13).
+//
+// §1 and §5.1 discuss this design point without multiplier-level numbers;
+// the model makes the trade-off concrete:
+//  * cycle count scales as (3 transforms x 8 stages x 128 butterflies +
+//    256 pointwise products) / butterfly units — far fewer cycles than LW
+//    even with few units;
+//  * but every butterfly needs a full 42-bit modular multiplier (DSP
+//    cascades plus reduction logic) and twiddle storage, so the area and
+//    energy per operation dwarf the shift-and-add MACs that Saber's small
+//    secrets enable — the reason the paper's designs avoid the NTT.
+//
+// This architecture is NOT proposed by the paper; it exists to reproduce the
+// §5.1 comparison and is labelled accordingly in the benches.
+#pragma once
+
+#include "mult/ntt.hpp"
+#include "multipliers/hw_multiplier.hpp"
+
+namespace saber::arch {
+
+struct NttHwConfig {
+  unsigned butterflies = 2;   ///< parallel butterfly units
+  unsigned mul_latency = 4;   ///< pipeline depth of the modular multiplier
+};
+
+class NttHwMultiplier final : public HwMultiplier {
+ public:
+  explicit NttHwMultiplier(const NttHwConfig& cfg = {});
+
+  std::string_view name() const override { return name_; }
+  MultiplierResult multiply(const ring::Poly& a, const ring::SecretPoly& s,
+                            const ring::Poly* accumulate = nullptr) override;
+  const hw::AreaLedger& area() const override { return area_; }
+  unsigned logic_depth() const override { return 6; }  // modmul + reduction
+  u64 headline_cycles() const override;
+  bool headline_includes_overhead() const override { return false; }
+
+  const NttHwConfig& config() const { return cfg_; }
+
+ private:
+  void build_area();
+
+  NttHwConfig cfg_;
+  std::string name_;
+  hw::AreaLedger area_;
+  mult::NttMultiplier ntt_;
+};
+
+}  // namespace saber::arch

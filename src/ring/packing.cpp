@@ -1,0 +1,66 @@
+#include "ring/packing.hpp"
+
+#include "common/check.hpp"
+
+namespace saber::ring {
+
+std::vector<u8> pack_bits(std::span<const u16> values, unsigned bits) {
+  SABER_REQUIRE(bits >= 1 && bits <= 16, "bit width out of range");
+  std::vector<u8> out(bytes_for(values.size(), bits), 0);
+  std::size_t bitpos = 0;
+  for (u16 v : values) {
+    SABER_REQUIRE(v <= mask64(bits), "value exceeds bit width");
+    for (unsigned b = 0; b < bits; ++b, ++bitpos) {
+      if ((v >> b) & 1u) out[bitpos / 8] |= static_cast<u8>(1u << (bitpos % 8));
+    }
+  }
+  return out;
+}
+
+void unpack_bits(std::span<const u8> data, unsigned bits, std::span<u16> values) {
+  SABER_REQUIRE(bits >= 1 && bits <= 16, "bit width out of range");
+  SABER_REQUIRE(data.size() * 8 >= values.size() * bits, "input too short");
+  std::size_t bitpos = 0;
+  for (auto& v : values) {
+    u16 x = 0;
+    for (unsigned b = 0; b < bits; ++b, ++bitpos) {
+      x |= static_cast<u16>(((data[bitpos / 8] >> (bitpos % 8)) & 1u) << b);
+    }
+    v = x;
+  }
+}
+
+std::vector<u64> pack_words(std::span<const u16> values, unsigned bits) {
+  SABER_REQUIRE(bits >= 1 && bits <= 16, "bit width out of range");
+  std::vector<u64> out(words_for(values.size(), bits), 0);
+  std::size_t bitpos = 0;
+  for (u16 v : values) {
+    SABER_REQUIRE(v <= mask64(bits), "value exceeds bit width");
+    const std::size_t word = bitpos / 64;
+    const unsigned off = static_cast<unsigned>(bitpos % 64);
+    out[word] |= static_cast<u64>(v) << off;
+    if (off + bits > 64) {
+      out[word + 1] |= static_cast<u64>(v) >> (64 - off);
+    }
+    bitpos += bits;
+  }
+  return out;
+}
+
+void unpack_words(std::span<const u64> words, unsigned bits, std::span<u16> values) {
+  SABER_REQUIRE(bits >= 1 && bits <= 16, "bit width out of range");
+  SABER_REQUIRE(words.size() * 64 >= values.size() * bits, "input too short");
+  std::size_t bitpos = 0;
+  for (auto& v : values) {
+    const std::size_t word = bitpos / 64;
+    const unsigned off = static_cast<unsigned>(bitpos % 64);
+    u64 x = words[word] >> off;
+    if (off + bits > 64) {
+      x |= words[word + 1] << (64 - off);
+    }
+    v = static_cast<u16>(low_bits(x, bits));
+    bitpos += bits;
+  }
+}
+
+}  // namespace saber::ring

@@ -1,0 +1,82 @@
+// Bit-packing codecs.
+//
+// Saber serializes polynomials by packing k-bit coefficients LSB-first into a
+// little-endian bit stream (the reference implementation's BS2POL/POL2BS
+// family). The hardware models additionally view the same streams as 64-bit
+// memory words, matching the paper's 64-bit data bus (§2.2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "ring/poly.hpp"
+
+namespace saber::ring {
+
+/// Pack values (each < 2^bits) LSB-first into a byte stream.
+std::vector<u8> pack_bits(std::span<const u16> values, unsigned bits);
+
+/// Inverse of pack_bits. `data` must hold at least values.size()*bits bits.
+void unpack_bits(std::span<const u8> data, unsigned bits, std::span<u16> values);
+
+/// Pack values LSB-first into little-endian 64-bit memory words (the layout
+/// the multiplier architectures stream from BRAM).
+std::vector<u64> pack_words(std::span<const u16> values, unsigned bits);
+
+/// Inverse of pack_words.
+void unpack_words(std::span<const u64> words, unsigned bits, std::span<u16> values);
+
+/// Words needed to store `count` coefficients of `bits` bits each.
+constexpr std::size_t words_for(std::size_t count, unsigned bits) {
+  return ceil_div<std::size_t>(count * bits, 64);
+}
+
+/// Bytes needed to store `count` coefficients of `bits` bits each.
+constexpr std::size_t bytes_for(std::size_t count, unsigned bits) {
+  return ceil_div<std::size_t>(count * bits, 8);
+}
+
+/// Convenience: pack a polynomial's low `bits` bits per coefficient.
+template <std::size_t N>
+std::vector<u8> pack_poly(const PolyT<N>& p, unsigned bits) {
+  std::vector<u16> masked(N);
+  for (std::size_t i = 0; i < N; ++i) {
+    masked[i] = static_cast<u16>(low_bits(p[i], bits));
+  }
+  return pack_bits(masked, bits);
+}
+
+/// Convenience: unpack a polynomial (coefficients end up reduced mod 2^bits).
+template <std::size_t N>
+PolyT<N> unpack_poly(std::span<const u8> data, unsigned bits) {
+  PolyT<N> p;
+  unpack_bits(data, bits, p.c);
+  return p;
+}
+
+/// Secret polynomials packed in the paper's 4-bit sign-magnitude-free layout:
+/// the two's-complement low `bits` bits of each coefficient, sixteen 4-bit
+/// coefficients per 64-bit word for Saber (§2.2: "we pack 16 coefficients of
+/// a secret polynomial in a 64-bit memory-word").
+template <std::size_t N>
+std::vector<u64> pack_secret_words(const SecretPolyT<N>& s, unsigned bits) {
+  std::vector<u16> vals(N);
+  for (std::size_t i = 0; i < N; ++i) {
+    vals[i] = static_cast<u16>(to_twos_complement(s[i], bits));
+  }
+  return pack_words(vals, bits);
+}
+
+template <std::size_t N>
+SecretPolyT<N> unpack_secret_words(std::span<const u64> words, unsigned bits) {
+  std::array<u16, N> vals{};
+  unpack_words(words, bits, vals);
+  SecretPolyT<N> s;
+  for (std::size_t i = 0; i < N; ++i) {
+    s[i] = static_cast<i8>(sign_extend(vals[i], bits));
+  }
+  return s;
+}
+
+}  // namespace saber::ring

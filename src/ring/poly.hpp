@@ -1,0 +1,189 @@
+// Polynomials over power-of-two moduli in the negacyclic ring
+// R_q = Z_q[x] / (x^N + 1) with q = 2^qbits.
+//
+// Coefficients are stored as raw u16 values; every mutating operation takes
+// the modulus bit width explicitly, mirroring how Saber mixes moduli
+// (q = 2^13, p = 2^10, T = 2^et, 2) within one computation. A `Poly` does not
+// carry its modulus as state — Saber's rounding steps reinterpret the same
+// coefficient vector under several moduli, and an explicit parameter keeps
+// those reinterpretations visible at the call site.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace saber::ring {
+
+/// Fixed-degree polynomial with u16 coefficients.
+template <std::size_t N>
+struct PolyT {
+  std::array<u16, N> c{};
+
+  static constexpr std::size_t size() { return N; }
+
+  u16& operator[](std::size_t i) { return c[i]; }
+  const u16& operator[](std::size_t i) const { return c[i]; }
+
+  bool operator==(const PolyT&) const = default;
+
+  /// All coefficients reduced modulo 2^qbits?
+  bool reduced(unsigned qbits) const {
+    return std::ranges::all_of(c, [&](u16 v) { return v <= mask64(qbits); });
+  }
+
+  /// Reduce every coefficient modulo 2^qbits in place; returns *this.
+  PolyT& reduce(unsigned qbits) {
+    for (auto& v : c) v = static_cast<u16>(low_bits(v, qbits));
+    return *this;
+  }
+
+  /// Set every coefficient to `value`.
+  static PolyT constant(u16 value) {
+    PolyT p;
+    p.c.fill(value);
+    return p;
+  }
+
+  /// Uniformly random polynomial modulo 2^qbits.
+  static PolyT random(RandomSource& rng, unsigned qbits) {
+    PolyT p;
+    for (auto& v : p.c) v = static_cast<u16>(rng.uniform(u64{1} << qbits));
+    return p;
+  }
+};
+
+/// Coefficient-wise sum modulo 2^qbits.
+template <std::size_t N>
+PolyT<N> add(const PolyT<N>& a, const PolyT<N>& b, unsigned qbits) {
+  PolyT<N> r;
+  for (std::size_t i = 0; i < N; ++i) {
+    r[i] = static_cast<u16>(low_bits(static_cast<u32>(a[i]) + b[i], qbits));
+  }
+  return r;
+}
+
+/// Coefficient-wise difference modulo 2^qbits.
+template <std::size_t N>
+PolyT<N> sub(const PolyT<N>& a, const PolyT<N>& b, unsigned qbits) {
+  PolyT<N> r;
+  for (std::size_t i = 0; i < N; ++i) {
+    r[i] = static_cast<u16>(
+        low_bits(static_cast<u32>(a[i]) + (u32{1} << qbits) - b[i], qbits));
+  }
+  return r;
+}
+
+/// Add a constant to every coefficient modulo 2^qbits.
+template <std::size_t N>
+PolyT<N> add_constant(const PolyT<N>& a, u16 k, unsigned qbits) {
+  PolyT<N> r;
+  for (std::size_t i = 0; i < N; ++i) {
+    r[i] = static_cast<u16>(low_bits(static_cast<u32>(a[i]) + k, qbits));
+  }
+  return r;
+}
+
+/// Logical right shift of every coefficient (Saber's scale-and-round step:
+/// the caller adds the rounding constant h first). Input must be reduced
+/// modulo 2^from_bits; the result is reduced modulo 2^(from_bits - shift).
+template <std::size_t N>
+PolyT<N> shift_right(const PolyT<N>& a, unsigned shift) {
+  PolyT<N> r;
+  for (std::size_t i = 0; i < N; ++i) r[i] = static_cast<u16>(a[i] >> shift);
+  return r;
+}
+
+/// Left shift (multiplication by 2^shift) modulo 2^qbits.
+template <std::size_t N>
+PolyT<N> shift_left(const PolyT<N>& a, unsigned shift, unsigned qbits) {
+  PolyT<N> r;
+  for (std::size_t i = 0; i < N; ++i) {
+    r[i] = static_cast<u16>(low_bits(static_cast<u32>(a[i]) << shift, qbits));
+  }
+  return r;
+}
+
+/// Multiply by x^k in the negacyclic ring: coefficients wrap with negation.
+template <std::size_t N>
+PolyT<N> mul_by_x_pow(const PolyT<N>& a, std::size_t k, unsigned qbits) {
+  PolyT<N> r;
+  const u32 q = u32{1} << qbits;
+  for (std::size_t i = 0; i < N; ++i) {
+    const std::size_t j = (i + k) % N;
+    const bool negate = ((i + k) / N) % 2 == 1;
+    const u32 v = static_cast<u32>(low_bits(a[i], qbits));
+    r[j] = static_cast<u16>(negate ? low_bits(q - v, qbits) : v);
+  }
+  return r;
+}
+
+/// Centered (signed) representative of `v` modulo 2^qbits, in
+/// [-2^(qbits-1), 2^(qbits-1)).
+constexpr i32 centered(u16 v, unsigned qbits) {
+  const u32 q = u32{1} << qbits;
+  const u32 x = static_cast<u32>(low_bits(v, qbits));
+  return x >= q / 2 ? static_cast<i32>(x) - static_cast<i32>(q) : static_cast<i32>(x);
+}
+
+/// Saber's canonical dimension.
+inline constexpr std::size_t kN = 256;
+using Poly = PolyT<kN>;
+
+/// Small signed polynomial (Saber secrets: coefficients in [-mu/2, mu/2]).
+template <std::size_t N>
+struct SecretPolyT {
+  std::array<i8, N> c{};
+
+  static constexpr std::size_t size() { return N; }
+
+  i8& operator[](std::size_t i) { return c[i]; }
+  const i8& operator[](std::size_t i) const { return c[i]; }
+
+  bool operator==(const SecretPolyT&) const = default;
+
+  /// Largest absolute coefficient value.
+  unsigned max_magnitude() const {
+    unsigned m = 0;
+    for (i8 v : c) m = std::max(m, static_cast<unsigned>(v < 0 ? -v : v));
+    return m;
+  }
+
+  /// Two's-complement embedding into R_q (q = 2^qbits).
+  PolyT<N> to_poly(unsigned qbits) const {
+    PolyT<N> p;
+    for (std::size_t i = 0; i < N; ++i) {
+      p[i] = static_cast<u16>(to_twos_complement(c[i], qbits));
+    }
+    return p;
+  }
+
+  /// Inverse of to_poly for polynomials known to have small coefficients
+  /// (|coeff| <= bound < 2^(qbits-1)).
+  static SecretPolyT from_poly(const PolyT<N>& p, unsigned qbits, unsigned bound) {
+    SecretPolyT s;
+    for (std::size_t i = 0; i < N; ++i) {
+      const i32 v = centered(p[i], qbits);
+      SABER_REQUIRE(static_cast<u32>(v < 0 ? -v : v) <= bound,
+                    "coefficient exceeds secret bound");
+      s[i] = static_cast<i8>(v);
+    }
+    return s;
+  }
+
+  /// Uniformly random secret with coefficients in [-bound, bound].
+  static SecretPolyT random(RandomSource& rng, unsigned bound) {
+    SecretPolyT s;
+    for (auto& v : s.c) {
+      v = static_cast<i8>(rng.uniform_range(-static_cast<i64>(bound), bound));
+    }
+    return s;
+  }
+};
+
+using SecretPoly = SecretPolyT<kN>;
+
+}  // namespace saber::ring

@@ -1,0 +1,34 @@
+#include "ring/polyvec.hpp"
+
+#include "common/check.hpp"
+
+namespace saber::ring {
+
+PolyVec matrix_vector_mul(const PolyMatrix& a, const SecretVec& s, const PolyMulFn& mul,
+                          unsigned qbits, bool transpose) {
+  SABER_REQUIRE(a.rows() == a.cols(), "matrix must be square");
+  SABER_REQUIRE(a.cols() == s.size(), "dimension mismatch");
+  const std::size_t l = a.rows();
+  PolyVec r(l);
+  for (std::size_t i = 0; i < l; ++i) {
+    Poly acc{};
+    for (std::size_t j = 0; j < l; ++j) {
+      const Poly& aij = transpose ? a.at(j, i) : a.at(i, j);
+      acc = add(acc, mul(aij, s[j], qbits), qbits);
+    }
+    r[i] = acc;
+  }
+  return r;
+}
+
+Poly inner_product(const PolyVec& b, const SecretVec& s, const PolyMulFn& mul,
+                   unsigned qbits) {
+  SABER_REQUIRE(b.size() == s.size(), "dimension mismatch");
+  Poly acc{};
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    acc = add(acc, mul(b[i], s[i], qbits), qbits);
+  }
+  return acc;
+}
+
+}  // namespace saber::ring

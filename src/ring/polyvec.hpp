@@ -1,0 +1,45 @@
+// Vectors and matrices of ring elements, with multiplication delegated to a
+// pluggable polynomial multiplier so the Saber layer can run on any of the
+// software algorithms or on a simulated hardware multiplier.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ring/poly.hpp"
+
+namespace saber::ring {
+
+/// Negacyclic product of a public polynomial (reduced mod 2^qbits) and a
+/// small signed secret polynomial, reduced mod 2^qbits.
+using PolyMulFn = std::function<Poly(const Poly&, const SecretPoly&, unsigned qbits)>;
+
+using PolyVec = std::vector<Poly>;
+using SecretVec = std::vector<SecretPoly>;
+
+/// Row-major square matrix of polynomials.
+class PolyMatrix {
+ public:
+  PolyMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), elems_(rows * cols) {}
+
+  Poly& at(std::size_t r, std::size_t c) { return elems_[r * cols_ + c]; }
+  const Poly& at(std::size_t r, std::size_t c) const { return elems_[r * cols_ + c]; }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<Poly> elems_;
+};
+
+/// r = A * s (or A^T * s when `transpose`), reduced mod 2^qbits.
+PolyVec matrix_vector_mul(const PolyMatrix& a, const SecretVec& s, const PolyMulFn& mul,
+                          unsigned qbits, bool transpose);
+
+/// Inner product <b, s> = sum_i b[i] * s[i], reduced mod 2^qbits.
+Poly inner_product(const PolyVec& b, const SecretVec& s, const PolyMulFn& mul,
+                   unsigned qbits);
+
+}  // namespace saber::ring

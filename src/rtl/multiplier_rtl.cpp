@@ -1,0 +1,314 @@
+#include "rtl/multiplier_rtl.hpp"
+
+#include "common/check.hpp"
+#include "ring/packing.hpp"
+
+namespace saber::rtl {
+
+CentralizedCoreRtl::CentralizedCoreRtl(unsigned unroll) : unroll_(unroll) {
+  SABER_REQUIRE(unroll == 1 || unroll == 2, "modeled unrolls: 1 (256 MACs), 2 (512)");
+  for (unsigned u = 0; u < unroll; ++u) {
+    gen3a_.push_back(&netlist_.add<Adder>("central 3a adder " + std::to_string(u), kQ));
+    wrap_negate_.push_back(
+        &netlist_.add<CondNegate>("secret wrap negate " + std::to_string(u), 4));
+    broadcast_stage_.push_back(
+        &netlist_.add<Register>("broadcast stage " + std::to_string(u), kQ));
+  }
+  for (unsigned j = 0; j < kMacs; ++j) {
+    const auto idx = std::to_string(j);
+    select_[j] = &netlist_.add<Mux>("mac" + idx + " select", 5, kQ);
+    accum_[j] = &netlist_.add<AddSub>("mac" + idx + " addsub", kQ);
+    if (unroll == 2) {
+      select2_[j] = &netlist_.add<Mux>("mac" + idx + " select.b", 5, kQ);
+      accum2_[j] = &netlist_.add<AddSub>("mac" + idx + " addsub.b", kQ);
+    }
+    acc_regs_[j] = &netlist_.add<Register>("acc" + idx, kQ);
+    secret_regs_[j] = &netlist_.add<Register>("sec" + idx, 4);
+  }
+}
+
+void CentralizedCoreRtl::load_secret(const ring::SecretPoly& s) {
+  SABER_REQUIRE(s.max_magnitude() <= 4, "RTL core models the Saber range");
+  for (unsigned j = 0; j < kMacs; ++j) {
+    secret_regs_[j]->set_next(to_twos_complement(s[j], 4));
+    acc_regs_[j]->set_next(0);
+  }
+  for (auto* stage : broadcast_stage_) stage->set_next(0);
+  netlist_.tick();  // the operand-load cycle
+}
+
+void CentralizedCoreRtl::step(u16 ai) {
+  SABER_REQUIRE(unroll_ == 1, "step() drives the 256-MAC configuration");
+  const u64 a = low_bits(ai, kQ);
+  // Central multiple generation: 2a and 4a are wired shifts, 3a is the adder.
+  const std::array<u64, 5> multiples = {
+      0, a, low_bits(a << 1, kQ), gen3a_[0]->eval(a, low_bits(a << 1, kQ)),
+      low_bits(a << 2, kQ)};
+
+  for (unsigned j = 0; j < kMacs; ++j) {
+    const u64 raw = secret_regs_[j]->q();
+    const i64 sj = sign_extend(raw, 4);
+    const auto mag = static_cast<unsigned>(sj < 0 ? -sj : sj);
+    SABER_ENSURE(mag <= 4, "secret register outside the modeled range");
+    const u64 mult = select_[j]->eval(multiples, mag);
+    acc_regs_[j]->set_next(accum_[j]->eval(acc_regs_[j]->q(), mult, sj < 0));
+  }
+  // Negacyclic shift: b <- b * x (sec[j] <- sec[j-1], sec[0] <- -sec[255]).
+  for (unsigned j = kMacs - 1; j > 0; --j) {
+    secret_regs_[j]->set_next(secret_regs_[j - 1]->q());
+  }
+  secret_regs_[0]->set_next(wrap_negate_[0]->eval(secret_regs_[kMacs - 1]->q(), true));
+  broadcast_stage_[0]->set_next(a);
+
+  netlist_.tick();
+  ++cycles_;
+}
+
+void CentralizedCoreRtl::step2(u16 a0, u16 a1) {
+  SABER_REQUIRE(unroll_ == 2, "step2() drives the 512-MAC configuration");
+  const u64 av0 = low_bits(a0, kQ);
+  const u64 av1 = low_bits(a1, kQ);
+  const std::array<u64, 5> mult0 = {
+      0, av0, low_bits(av0 << 1, kQ), gen3a_[0]->eval(av0, low_bits(av0 << 1, kQ)),
+      low_bits(av0 << 2, kQ)};
+  const std::array<u64, 5> mult1 = {
+      0, av1, low_bits(av1 << 1, kQ), gen3a_[1]->eval(av1, low_bits(av1 << 1, kQ)),
+      low_bits(av1 << 2, kQ)};
+
+  for (unsigned j = 0; j < kMacs; ++j) {
+    // Rank A sees the resident secret; rank B sees it shifted by one (the
+    // combinational x-multiply of the second broadcast).
+    const i64 s0 = sign_extend(secret_regs_[j]->q(), 4);
+    const i64 s1_raw =
+        j == 0 ? -sign_extend(secret_regs_[kMacs - 1]->q(), 4)
+               : sign_extend(secret_regs_[j - 1]->q(), 4);
+    const auto mag0 = static_cast<unsigned>(s0 < 0 ? -s0 : s0);
+    const auto mag1 = static_cast<unsigned>(s1_raw < 0 ? -s1_raw : s1_raw);
+    // Three-way accumulation as two add/sub ranks.
+    const u64 first =
+        accum_[j]->eval(acc_regs_[j]->q(), select_[j]->eval(mult0, mag0), s0 < 0);
+    const u64 second =
+        accum2_[j]->eval(first, select2_[j]->eval(mult1, mag1), s1_raw < 0);
+    acc_regs_[j]->set_next(second);
+  }
+  // Shift the secret register by x^2.
+  for (unsigned j = kMacs - 1; j > 1; --j) {
+    secret_regs_[j]->set_next(secret_regs_[j - 2]->q());
+  }
+  secret_regs_[1]->set_next(wrap_negate_[0]->eval(secret_regs_[kMacs - 1]->q(), true));
+  secret_regs_[0]->set_next(wrap_negate_[1]->eval(secret_regs_[kMacs - 2]->q(), true));
+  broadcast_stage_[0]->set_next(av0);
+  broadcast_stage_[1]->set_next(av1);
+
+  netlist_.tick();
+  ++cycles_;
+}
+
+ring::Poly CentralizedCoreRtl::multiply(const ring::Poly& a, const ring::SecretPoly& s) {
+  SABER_REQUIRE(a.reduced(kQ), "operand must be reduced mod q");
+  load_secret(s);
+  for (std::size_t i = 0; i < ring::kN; i += unroll_) {
+    if (unroll_ == 1) {
+      step(a[i]);
+    } else {
+      step2(a[i], a[i + 1]);
+    }
+  }
+  return accumulator();
+}
+
+ring::Poly CentralizedCoreRtl::accumulator() const {
+  ring::Poly p;
+  for (unsigned j = 0; j < kMacs; ++j) {
+    p[j] = static_cast<u16>(acc_regs_[j]->q());
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// LightweightCoreRtl
+// ---------------------------------------------------------------------------
+
+LightweightCoreRtl::LightweightCoreRtl() {
+  secret_block_ = &netlist_.add<Register>("secret block", 64);
+  secret_last_ = &netlist_.add<Register>("secret last block", 64);
+  pub_low_ = &netlist_.add<Register>("public buffer low", 64);
+  pub_high_ = &netlist_.add<Register>("public buffer high", 64);
+  bit_offset_ = &netlist_.add<Register>("window bit offset", 6);
+  gen3a_ = &netlist_.add<Adder>("central 3a adder", kQ);
+  window_extract_ = &netlist_.add<Mux>("window extract", 16, kQ);
+  for (unsigned m = 0; m < kMacs; ++m) {
+    select_[m] = &netlist_.add<Mux>("mac" + std::to_string(m) + " select", 5, kQ);
+    accum_[m] = &netlist_.add<AddSub>("mac" + std::to_string(m) + " addsub", kQ);
+  }
+}
+
+void LightweightCoreRtl::load_secret_block(u64 block_word) {
+  secret_last_->set_next(secret_block_->q());
+  secret_block_->set_next(block_word);
+  netlist_.tick();
+}
+
+void LightweightCoreRtl::push_public_word(u64 word) {
+  pub_high_->set_next(word);
+  netlist_.tick();
+}
+
+u16 LightweightCoreRtl::current_coefficient() const {
+  const unsigned off = static_cast<unsigned>(bit_offset_->q());
+  u64 window = pub_low_->q() >> off;
+  if (off > 0) window |= pub_high_->q() << (64 - off);
+  // The window-extract mux picks 13 bits from the low 24 of the shifted
+  // window; the shift-by-offset is the incremental 13-bit stream of §4.1.
+  return static_cast<u16>(low_bits(window, kQ));
+}
+
+void LightweightCoreRtl::consume_coefficient() {
+  const unsigned off = static_cast<unsigned>(bit_offset_->q()) + kQ;
+  if (off >= 64) {
+    pub_low_->set_next(pub_high_->q());
+    pub_high_->set_next(0);
+    bit_offset_->set_next(off - 64);
+  } else {
+    pub_low_->set_next(pub_low_->q());
+    pub_high_->set_next(pub_high_->q());
+    bit_offset_->set_next(off);
+  }
+  netlist_.tick();
+}
+
+void LightweightCoreRtl::step(std::array<u16, kMacs>& acc_window, unsigned phase,
+                              const std::array<bool, kMacs>& negacyclic) {
+  SABER_REQUIRE(phase < 4, "a public coefficient has four MAC phases");
+  const u64 a = current_coefficient();
+  const std::array<u64, 5> multiples = {
+      0, a, low_bits(a << 1, kQ), gen3a_->eval(a, low_bits(a << 1, kQ)),
+      low_bits(a << 2, kQ)};
+  for (unsigned m = 0; m < kMacs; ++m) {
+    const unsigned lane = 4 * phase + m;
+    const u64 nibble = bit_field(secret_block_->q(), 4 * lane + 3, 4 * lane);
+    const i64 sj = sign_extend(nibble, 4);
+    const auto mag = static_cast<unsigned>(sj < 0 ? -sj : sj);
+    SABER_REQUIRE(mag <= 4, "LW RTL core models the Saber range");
+    const u64 mult = select_[m]->eval(multiples, mag);
+    const bool subtract = (sj < 0) != negacyclic[m];
+    acc_window[m] = static_cast<u16>(accum_[m]->eval(acc_window[m], mult, subtract));
+  }
+}
+
+ring::Poly LightweightCoreRtl::multiply(const ring::Poly& a, const ring::SecretPoly& s) {
+  SABER_REQUIRE(a.reduced(kQ), "operand must be reduced mod q");
+  const auto pub_words =
+      ring::pack_words(std::span<const u16>(a.c.data(), a.c.size()), kQ);
+  const auto sec_words = ring::pack_secret_words(s, 4);
+
+  std::array<u16, ring::kN> acc{};
+  for (unsigned block = 0; block < 16; ++block) {
+    load_secret_block(sec_words[block]);
+    // Reset the public stream for this pass.
+    pub_low_->set_next(pub_words[0]);
+    pub_high_->set_next(pub_words[1]);
+    bit_offset_->set_next(0);
+    netlist_.tick();
+    std::size_t next_word = 2;
+    unsigned buffered_bits = 128;
+
+    for (std::size_t i = 0; i < ring::kN; ++i) {
+      for (unsigned phase = 0; phase < 4; ++phase) {
+        std::array<u16, kMacs> window{};
+        std::array<bool, kMacs> neg{};
+        std::array<std::size_t, kMacs> idx{};
+        for (unsigned m = 0; m < kMacs; ++m) {
+          const std::size_t c = i + 16 * block + 4 * phase + m;
+          idx[m] = c % ring::kN;
+          neg[m] = c >= ring::kN;
+          window[m] = acc[idx[m]];
+        }
+        step(window, phase, neg);
+        for (unsigned m = 0; m < kMacs; ++m) acc[idx[m]] = window[m];
+      }
+      consume_coefficient();
+      buffered_bits -= kQ;
+      if (buffered_bits <= 64 && next_word < pub_words.size()) {
+        push_public_word(pub_words[next_word++]);
+        buffered_bits += 64;
+      }
+    }
+  }
+  ring::Poly out;
+  for (std::size_t j = 0; j < ring::kN; ++j) out[j] = acc[j];
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DspLaneRtl
+// ---------------------------------------------------------------------------
+
+DspLaneRtl::DspLaneRtl() {
+  // The +/- block: 15-bit negation of a0 inside the packed pattern plus the
+  // borrow decrement on the a1 half.
+  a0_negate_ = &netlist_.add<CondNegate>("a0 +/- block", kShift);
+  fix1_ = &netlist_.add<AddSub>("middle-lane parity fix", kShift);
+  fix2_ = &netlist_.add<AddSub>("top-lane parity fix", kQ);
+  aprime_mux_ = &netlist_.add<Mux>("a'*s mux", 4, 19);
+  asprime_mask_ = &netlist_.add<AndMask>("a*s' mask", 26);
+  c_align_ = &netlist_.add<Adder>("C-port align adder", 20);
+  inv0_ = &netlist_.add<CondNegate>("invert a0s0", kQ);
+  inv1_ = &netlist_.add<CondNegate>("invert cross", kQ);
+  inv2_ = &netlist_.add<CondNegate>("invert a1s1", kQ);
+}
+
+DspLaneRtl::Lanes DspLaneRtl::compute(u16 a0, u16 a1, i8 s0, i8 s1) {
+  const bool sign0 = s0 < 0, sign1 = s1 < 0;
+  const bool flip = sign0 != sign1;
+  const auto m0 = static_cast<u64>(sign0 ? -s0 : s0);
+  const auto m1 = static_cast<u64>(sign1 ? -s1 : s1);
+  SABER_REQUIRE(m0 <= 4 && m1 <= 4, "lane models the Saber range");
+
+  // A pattern: low 15 bits are +/-a0 (mod 2^15); the borrow of a genuine
+  // subtraction decrements the a1 half.
+  const u64 low15 = a0_negate_->eval(a0, flip);
+  const bool borrow = flip && a0 != 0;
+  const u64 high13 = low_bits(static_cast<u64>(a1) - (borrow ? 1 : 0), kQ);
+  const u64 pattern = low15 | (high13 << kShift);  // 28 bits
+  const u64 a_lo = pattern & mask64(26);
+  const auto a_hi = static_cast<unsigned>(pattern >> 26);  // 2 bits
+
+  // S = m0 + m1*2^15, split 17 + 1.
+  const u64 s_full = m0 | (m1 << kShift);
+  const u64 s_lo = s_full & mask64(17);
+  const bool s_hi = (s_full >> 17) != 0;
+
+  // Small multiplier: a'*s via the 4:1 mux, a*s' via the AND mask; the align
+  // adder merges the overlapping bit range [26..45].
+  const std::array<u64, 4> aprime_multiples = {0, s_lo, 2 * s_lo, 3 * s_lo};
+  const u64 aprime_s = aprime_mux_->eval(aprime_multiples, a_hi);
+  const u64 asprime = asprime_mask_->eval(a_lo, s_hi);
+  const u64 c_hi = c_align_->eval(asprime >> 9, aprime_s);
+  const u64 c = ((asprime & mask64(9)) << 17) | (c_hi << 26);
+
+  dsp_.set_inputs(static_cast<i64>(a_lo), static_cast<i64>(s_lo), static_cast<i64>(c));
+  dsp_.tick();
+  const u64 p = static_cast<u64>(dsp_.p());
+
+  // Unpack + parity fixes (§3.2).
+  const u64 l0 = bit_field(p, kShift - 1, 0);
+  u64 l1 = bit_field(p, 2 * kShift - 1, kShift);
+  u64 l2 = bit_field(p, 2 * kShift + kQ - 1, 2 * kShift);
+  const unsigned exp1 =
+      ((static_cast<unsigned>(a0) & static_cast<unsigned>(m1)) ^
+       (static_cast<unsigned>(a1) & static_cast<unsigned>(m0))) &
+      1u;
+  if ((l1 & 1u) != exp1) l1 = fix1_->eval(l1, 1, /*subtract=*/!flip);
+  const unsigned exp2 =
+      (static_cast<unsigned>(a1) & static_cast<unsigned>(m1)) & 1u;
+  if ((l2 & 1u) != exp2) l2 = fix2_->eval(l2, 1, /*subtract=*/!flip);
+
+  Lanes out{};
+  out.a0s0 = static_cast<u16>(inv0_->eval(low_bits(l0, kQ), sign1));
+  out.cross = static_cast<u16>(inv1_->eval(low_bits(l1, kQ), sign0));
+  out.a1s1 = static_cast<u16>(inv2_->eval(low_bits(l2, kQ), sign1));
+  return out;
+}
+
+}  // namespace saber::rtl

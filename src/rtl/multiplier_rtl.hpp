@@ -1,0 +1,166 @@
+// The HS-I compute core (Figure 2) at structural RTL level.
+//
+// This is a register-transfer realization of the same datapath the FSM model
+// (arch::HighSpeedMultiplier, centralized) simulates behaviourally:
+//
+//   * central multiple generator: one adder forming 3a (2a/4a wired);
+//   * 256 MAC slices: 5:1 multiple-select mux + accumulator add/sub;
+//   * 1024-bit secret shift register with negacyclic wrap negation;
+//   * 3328-bit accumulator register bank.
+//
+// One public coefficient enters per cycle; after 256 cycles the accumulator
+// registers hold the negacyclic product. Two cross-validations anchor the
+// higher-level models:
+//   1. functional: the RTL product equals the schoolbook reference;
+//   2. structural: the netlist's counted flip-flops and LUT estimate equal
+//      the corresponding entries of the FSM model's area ledger.
+#pragma once
+
+#include <array>
+
+#include "hw/dsp48.hpp"
+#include "ring/poly.hpp"
+#include "rtl/primitives.hpp"
+
+namespace saber::rtl {
+
+class CentralizedCoreRtl {
+ public:
+  static constexpr unsigned kMacs = 256;
+  static constexpr unsigned kQ = 13;
+
+  /// `unroll` = outer-loop iterations per cycle: 1 models the 256-MAC core,
+  /// 2 the 512-MAC core (two broadcast coefficients per cycle, three-way
+  /// accumulator adders realized as a second add/sub rank per coefficient).
+  explicit CentralizedCoreRtl(unsigned unroll = 1);
+
+  /// Load the secret into the shift register and clear the accumulator.
+  void load_secret(const ring::SecretPoly& s);
+
+  /// One compute cycle: broadcast public coefficient a_i into every MAC
+  /// (unroll-1 configuration).
+  void step(u16 ai);
+
+  /// One compute cycle of the unroll-2 (512-MAC) configuration: two
+  /// consecutive coefficients broadcast, two MAC ranks, secret shifted by x^2.
+  void step2(u16 a0, u16 a1);
+
+  /// Run a whole multiplication (256/unroll steps) and return the product.
+  ring::Poly multiply(const ring::Poly& a, const ring::SecretPoly& s);
+
+  /// Accumulator snapshot.
+  ring::Poly accumulator() const;
+
+  const Netlist& netlist() const { return netlist_; }
+  u64 cycles() const { return cycles_; }
+
+ private:
+  Netlist netlist_;
+  unsigned unroll_;
+  // Central generators (one per broadcast coefficient).
+  std::vector<Adder*> gen3a_;
+  // Per-MAC elements (pointers into the netlist); the second rank exists
+  // only in the unroll-2 (512-MAC) configuration.
+  std::array<Mux*, kMacs> select_{};
+  std::array<AddSub*, kMacs> accum_{};
+  std::array<Mux*, kMacs> select2_{};
+  std::array<AddSub*, kMacs> accum2_{};
+  std::array<Register*, kMacs> acc_regs_{};
+  std::array<Register*, kMacs> secret_regs_{};  // 4-bit two's complement each
+  std::vector<CondNegate*> wrap_negate_;
+  std::vector<Register*> broadcast_stage_;
+  u64 cycles_ = 0;
+};
+
+/// The LW MAC datapath (Figure 4) at structural RTL level: the two 64-bit
+/// secret block registers, the public double buffer with its 13-bit window
+/// extraction, the shared multiple generator and the four select+add/sub MAC
+/// slices. Memory scheduling stays in the FSM model (it is control, not
+/// datapath); this core validates the per-cycle arithmetic and the register
+/// budget that produces the paper's 301-FF figure.
+class LightweightCoreRtl {
+ public:
+  static constexpr unsigned kMacs = 4;
+  static constexpr unsigned kQ = 13;
+
+  LightweightCoreRtl();
+
+  /// Load one 16-coefficient secret block (a 64-bit word, 4-bit packed).
+  void load_secret_block(u64 block_word);
+
+  /// Shift one public word into the double buffer.
+  void push_public_word(u64 word);
+
+  /// One MAC cycle: consume the current public coefficient against secret
+  /// coefficients [4*phase, 4*phase+4) of the resident block, accumulating
+  /// into the provided accumulator window (the BRAM-resident accumulator of
+  /// the FSM model). `negacyclic` flags per-lane wrap negation.
+  void step(std::array<u16, kMacs>& acc_window, unsigned phase,
+            const std::array<bool, kMacs>& negacyclic);
+
+  /// Advance the public buffer by one coefficient (13-bit shift) after the
+  /// four phases of a coefficient are done.
+  void consume_coefficient();
+
+  /// Current public coefficient presented by the window extractor.
+  u16 current_coefficient() const;
+
+  const Netlist& netlist() const { return netlist_; }
+
+  /// Full multiplication driven through the RTL datapath (the FSM loop
+  /// structure, the RTL arithmetic); used for equivalence testing.
+  ring::Poly multiply(const ring::Poly& a, const ring::SecretPoly& s);
+
+ private:
+  Netlist netlist_;
+  Register* secret_block_ = nullptr;   // 64 b, current block
+  Register* secret_last_ = nullptr;    // 64 b, last block (wrap support)
+  Register* pub_low_ = nullptr;        // 64 b
+  Register* pub_high_ = nullptr;       // 64 b
+  Register* bit_offset_ = nullptr;     // 6 b window offset
+  Adder* gen3a_ = nullptr;
+  std::array<Mux*, kMacs> select_{};
+  std::array<AddSub*, kMacs> accum_{};
+  Mux* window_extract_ = nullptr;
+};
+
+/// One HS-II lane (§3.2, Figure 3) at structural RTL level: the ± packer,
+/// the operand split, the LUT "small multiplier" feeding the DSP C port, and
+/// the unpacker with its parity fixes and conditional inversions — each as a
+/// named netlist component around a bit-exact hw::Dsp48.
+///
+/// Functionally cross-checked against DspPackedMultiplier::pack_multiply over
+/// exhaustive sign sweeps; structurally cross-checked against the HS-II area
+/// ledger's per-lane entries.
+class DspLaneRtl {
+ public:
+  static constexpr unsigned kQ = 13;
+  static constexpr unsigned kShift = 15;
+
+  DspLaneRtl();
+
+  struct Lanes {
+    u16 a0s0, cross, a1s1;
+  };
+
+  /// Combinational pass through the lane (the DSP pipeline registers are
+  /// internal to the slice and not fabric FFs).
+  Lanes compute(u16 a0, u16 a1, i8 s0, i8 s1);
+
+  const Netlist& netlist() const { return netlist_; }
+
+ private:
+  Netlist netlist_;
+  CondNegate* a0_negate_ = nullptr;     // the ± block
+  Mux* aprime_mux_ = nullptr;           // a' in {0..3} selects {0, s, 2s, 3s}
+  AndMask* asprime_mask_ = nullptr;     // a * s' (s' is one bit)
+  Adder* c_align_ = nullptr;            // C = (a*s')<<17 + (a'*s)<<26
+  AddSub* fix1_ = nullptr;              // middle-lane +/-1 parity fix
+  AddSub* fix2_ = nullptr;              // top-lane +/-1 parity fix
+  CondNegate* inv0_ = nullptr;          // invert a0s0 if s1 < 0
+  CondNegate* inv1_ = nullptr;          // invert cross if s0 < 0
+  CondNegate* inv2_ = nullptr;          // invert a1s1 if s1 < 0
+  hw::Dsp48 dsp_{1};
+};
+
+}  // namespace saber::rtl

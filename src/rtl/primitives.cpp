@@ -1,0 +1,8 @@
+#include "rtl/primitives.hpp"
+
+namespace saber::rtl {
+
+// All primitives are header-defined; this translation unit anchors the
+// Component vtable.
+
+}  // namespace saber::rtl

@@ -1,0 +1,193 @@
+// Structural RTL primitives.
+//
+// A second, lower modeling layer below the FSM architecture models: circuits
+// are built from explicit registers and combinational operators with fixed
+// bit widths, evaluated combinationally and clocked per cycle. Every
+// primitive reports the same area cost the structural model (hw/area.hpp)
+// assigns it, so a circuit built here cross-validates the area ledger of the
+// corresponding FSM model: the flip-flops are *counted from the netlist*
+// rather than asserted.
+//
+// The layer is deliberately small — values are u64-based buses up to 64 bits
+// — but the semantics are RTL: combinational outputs are functions of current
+// register state and inputs, and state only changes at tick().
+#pragma once
+
+#include <functional>
+#include <span>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/area.hpp"
+
+namespace saber::rtl {
+
+/// A fixed-width bus value; arithmetic wraps at the width.
+class Bus {
+ public:
+  Bus() = default;
+  Bus(u64 value, unsigned width) : width_(width), value_(low_bits(value, width)) {}
+
+  u64 value() const { return value_; }
+  unsigned width() const { return width_; }
+  unsigned bit(unsigned i) const { return bit_at(value_, i); }
+
+  bool operator==(const Bus&) const = default;
+
+ private:
+  unsigned width_ = 0;
+  u64 value_ = 0;
+};
+
+/// Base class of clocked circuit elements.
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Area this element contributes to the netlist tally.
+  virtual hw::AreaCost area() const = 0;
+
+  /// Clock edge (combinational elements do nothing).
+  virtual void tick() {}
+
+ private:
+  std::string name_;
+};
+
+/// D-type register bank of a given width.
+class Register final : public Component {
+ public:
+  Register(std::string name, unsigned width, u64 reset = 0)
+      : Component(std::move(name)), width_(width), q_(reset, width), d_(reset, width) {}
+
+  /// Present the next-state value (combinational input).
+  void set_next(u64 value) { d_ = Bus(value, width_); }
+
+  /// Current (registered) output.
+  u64 q() const { return q_.value(); }
+  unsigned width() const { return width_; }
+
+  hw::AreaCost area() const override { return hw::reg(width_); }
+  void tick() override {
+    if (q_ != d_) ++toggles_;
+    q_ = d_;
+  }
+
+  u64 toggles() const { return toggles_; }
+
+ private:
+  unsigned width_;
+  Bus q_, d_;
+  u64 toggles_ = 0;
+};
+
+// --- combinational operators (pure functions + area reporting) -------------
+
+/// Ripple adder: (a + b) mod 2^width.
+class Adder final : public Component {
+ public:
+  Adder(std::string name, unsigned width) : Component(std::move(name)), width_(width) {}
+  u64 eval(u64 a, u64 b) const { return low_bits(a + b, width_); }
+  hw::AreaCost area() const override { return hw::adder(width_); }
+
+ private:
+  unsigned width_;
+};
+
+/// Adder/subtractor with a subtract control input.
+class AddSub final : public Component {
+ public:
+  AddSub(std::string name, unsigned width) : Component(std::move(name)), width_(width) {}
+  u64 eval(u64 a, u64 b, bool subtract) const {
+    const u64 m = mask64(width_);
+    return subtract ? low_bits(a + ((~b) & m) + 1, width_) : low_bits(a + b, width_);
+  }
+  hw::AreaCost area() const override { return hw::add_sub(width_); }
+
+ private:
+  unsigned width_;
+};
+
+/// n:1 multiplexer.
+class Mux final : public Component {
+ public:
+  Mux(std::string name, unsigned inputs, unsigned width)
+      : Component(std::move(name)), inputs_(inputs), width_(width) {}
+  u64 eval(std::span<const u64> in, unsigned sel) const {
+    SABER_REQUIRE(in.size() == inputs_, "mux input-count mismatch");
+    SABER_REQUIRE(sel < inputs_, "mux select out of range");
+    return low_bits(in[sel], width_);
+  }
+  hw::AreaCost area() const override { return hw::mux(inputs_, width_); }
+
+ private:
+  unsigned inputs_;
+  unsigned width_;
+};
+
+/// Bus AND-mask: out = enable ? a : 0 (one LUT per two bits).
+class AndMask final : public Component {
+ public:
+  AndMask(std::string name, unsigned width) : Component(std::move(name)), width_(width) {}
+  u64 eval(u64 a, bool enable) const { return enable ? low_bits(a, width_) : 0; }
+  hw::AreaCost area() const override { return {.lut = ceil_div(width_, 2u)}; }
+
+ private:
+  unsigned width_;
+};
+
+/// Conditional two's-complement negation.
+class CondNegate final : public Component {
+ public:
+  CondNegate(std::string name, unsigned width)
+      : Component(std::move(name)), width_(width) {}
+  u64 eval(u64 a, bool negate) const {
+    return negate ? low_bits(~a + 1, width_) : low_bits(a, width_);
+  }
+  hw::AreaCost area() const override { return hw::cond_negate(width_); }
+
+ private:
+  unsigned width_;
+};
+
+/// Netlist: owns components, tallies area, clocks everything.
+class Netlist {
+ public:
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto comp = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *comp;
+    components_.push_back(std::move(comp));
+    return ref;
+  }
+
+  void tick() {
+    for (auto& c : components_) c->tick();
+  }
+
+  hw::AreaCost total_area() const {
+    hw::AreaCost t;
+    for (const auto& c : components_) t += c->area();
+    return t;
+  }
+
+  /// Flip-flop toggle total (power proxy, counted from the netlist).
+  u64 register_toggles() const {
+    u64 t = 0;
+    for (const auto& c : components_) {
+      if (const auto* r = dynamic_cast<const Register*>(c.get())) t += r->toggles();
+    }
+    return t;
+  }
+
+  std::size_t size() const { return components_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Component>> components_;
+};
+
+}  // namespace saber::rtl

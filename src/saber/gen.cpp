@@ -1,0 +1,42 @@
+#include "saber/gen.hpp"
+
+#include "common/check.hpp"
+#include "ring/packing.hpp"
+#include "saber/sampler.hpp"
+#include "sha3/sha3.hpp"
+
+namespace saber::kem {
+
+ring::PolyMatrix gen_matrix(std::span<const u8> seed, const SaberParams& params) {
+  SABER_REQUIRE(seed.size() == SaberParams::seed_bytes, "bad seed length");
+  const std::size_t l = params.l;
+  const std::size_t total = l * l * SaberParams::n;
+  const auto buf =
+      sha3::Shake128::hash(seed, ring::bytes_for(total, SaberParams::eq));
+  std::vector<u16> coeffs(total);
+  ring::unpack_bits(buf, SaberParams::eq, coeffs);
+
+  ring::PolyMatrix a(l, l);
+  std::size_t pos = 0;
+  for (std::size_t r = 0; r < l; ++r) {
+    for (std::size_t c = 0; c < l; ++c) {
+      for (std::size_t k = 0; k < SaberParams::n; ++k) {
+        a.at(r, c)[k] = coeffs[pos++];
+      }
+    }
+  }
+  return a;
+}
+
+ring::SecretVec gen_secret(std::span<const u8> seed, const SaberParams& params) {
+  SABER_REQUIRE(seed.size() == SaberParams::seed_bytes, "bad seed length");
+  const std::size_t poly_bytes = SaberParams::n * params.mu / 8;
+  const auto buf = sha3::Shake128::hash(seed, params.l * poly_bytes);
+  ring::SecretVec s(params.l);
+  for (std::size_t i = 0; i < params.l; ++i) {
+    s[i] = cbd_sample(std::span(buf).subspan(i * poly_bytes, poly_bytes), params.mu);
+  }
+  return s;
+}
+
+}  // namespace saber::kem

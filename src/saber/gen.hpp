@@ -1,0 +1,20 @@
+// Deterministic expansion of the public matrix A and the secret vector s
+// from 32-byte seeds (gen_matrix / gen_secret in the Saber spec), both via
+// SHAKE-128 as in the round-3 reference implementation.
+#pragma once
+
+#include <span>
+
+#include "ring/polyvec.hpp"
+#include "saber/params.hpp"
+
+namespace saber::kem {
+
+/// A in R_q^{l x l}, coefficients reduced mod q, filled row-major from the
+/// SHAKE-128(seed) bit stream (13 bits per coefficient, LSB-first).
+ring::PolyMatrix gen_matrix(std::span<const u8> seed, const SaberParams& params);
+
+/// s in R^l with centered-binomial coefficients from SHAKE-128(seed).
+ring::SecretVec gen_secret(std::span<const u8> seed, const SaberParams& params);
+
+}  // namespace saber::kem

@@ -1,0 +1,47 @@
+// Saber CCA-secure KEM: the Fujisaki-Okamoto transform with implicit
+// rejection wrapped around SaberPke, following the round-3 reference flow
+// (SHA3-256 / SHA3-512 for hashing, constant-time ciphertext comparison).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "saber/pke.hpp"
+
+namespace saber::kem {
+
+using SharedSecret = std::array<u8, SaberParams::key_bytes>;
+
+struct KemKeyPair {
+  std::vector<u8> pk;
+  std::vector<u8> sk;  ///< pke_sk || pk || SHA3-256(pk) || z
+};
+
+struct EncapsResult {
+  std::vector<u8> ct;
+  SharedSecret key;
+};
+
+class SaberKemScheme {
+ public:
+  SaberKemScheme(const SaberParams& params, ring::PolyMulFn mul);
+
+  const SaberParams& params() const { return pke_.params(); }
+  const SaberPke& pke() const { return pke_; }
+
+  KemKeyPair keygen(RandomSource& rng) const;
+  EncapsResult encaps(std::span<const u8> pk, RandomSource& rng) const;
+
+  /// Deterministic encapsulation from an explicit pre-hash message seed
+  /// (exposed for reproducible tests).
+  EncapsResult encaps_deterministic(std::span<const u8> pk, const Message& m_raw) const;
+
+  /// Decapsulation with implicit rejection: always returns a key; on a
+  /// tampered ciphertext the key is derived from the secret z instead.
+  SharedSecret decaps(std::span<const u8> ct, std::span<const u8> sk) const;
+
+ private:
+  SaberPke pke_;
+};
+
+}  // namespace saber::kem

@@ -1,0 +1,59 @@
+// Saber parameter sets (round-3 submission [13]).
+//
+// All sets share n = 256, q = 2^13, p = 2^10 and differ in the module rank l,
+// the binomial parameter mu (secret coefficients in [-mu/2, mu/2]) and the
+// ciphertext-compression modulus T = 2^et.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "common/bits.hpp"
+
+namespace saber::kem {
+
+struct SaberParams {
+  std::string_view name;
+  std::size_t l;   ///< module rank
+  unsigned mu;     ///< binomial parameter; secrets lie in [-mu/2, mu/2]
+  unsigned et;     ///< log2 of the ciphertext compression modulus T
+
+  static constexpr std::size_t n = 256;
+  static constexpr unsigned eq = 13;  ///< q = 8192
+  static constexpr unsigned ep = 10;  ///< p = 1024
+  static constexpr std::size_t seed_bytes = 32;
+  static constexpr std::size_t key_bytes = 32;
+  static constexpr std::size_t hash_bytes = 32;
+
+  /// Rounding constant added before the q->p shift (the vector h).
+  static constexpr u16 h1 = u16{1} << (eq - ep - 1);  // 4
+
+  /// Rounding constant used in decryption (h2).
+  constexpr u16 h2() const {
+    return static_cast<u16>((u32{1} << (ep - 2)) - (u32{1} << (ep - et - 1)) +
+                            (u32{1} << (eq - ep - 1)));
+  }
+
+  constexpr unsigned secret_bound() const { return mu / 2; }
+
+  // --- serialized sizes (bytes) ---
+  constexpr std::size_t poly_q_bytes() const { return n * eq / 8; }    // 416
+  constexpr std::size_t poly_p_bytes() const { return n * ep / 8; }    // 320
+  constexpr std::size_t poly_t_bytes() const { return n * et / 8; }
+  constexpr std::size_t poly_msg_bytes() const { return n / 8; }       // 32
+
+  constexpr std::size_t pk_bytes() const { return l * poly_p_bytes() + seed_bytes; }
+  constexpr std::size_t pke_sk_bytes() const { return l * poly_q_bytes(); }
+  constexpr std::size_t ct_bytes() const { return l * poly_p_bytes() + poly_t_bytes(); }
+  constexpr std::size_t kem_sk_bytes() const {
+    return pke_sk_bytes() + pk_bytes() + hash_bytes + key_bytes;
+  }
+};
+
+inline constexpr SaberParams kLightSaber{"LightSaber", 2, 10, 3};
+inline constexpr SaberParams kSaber{"Saber", 3, 8, 4};
+inline constexpr SaberParams kFireSaber{"FireSaber", 4, 6, 6};
+
+inline constexpr SaberParams kAllParams[] = {kLightSaber, kSaber, kFireSaber};
+
+}  // namespace saber::kem

@@ -1,0 +1,172 @@
+#include "saber/pke.hpp"
+
+#include "common/check.hpp"
+#include "ring/packing.hpp"
+#include "saber/gen.hpp"
+#include "sha3/sha3.hpp"
+
+namespace saber::kem {
+
+namespace {
+
+constexpr unsigned kEq = SaberParams::eq;
+constexpr unsigned kEp = SaberParams::ep;
+constexpr std::size_t kNn = SaberParams::n;
+
+ring::Poly message_to_poly(const Message& m) {
+  ring::Poly p;
+  for (std::size_t i = 0; i < kNn; ++i) {
+    p[i] = static_cast<u16>((m[i / 8] >> (i % 8)) & 1u);
+  }
+  return p;
+}
+
+Message poly_to_message(const ring::Poly& p) {
+  Message m{};
+  for (std::size_t i = 0; i < kNn; ++i) {
+    m[i / 8] |= static_cast<u8>((p[i] & 1u) << (i % 8));
+  }
+  return m;
+}
+
+}  // namespace
+
+SaberPke::SaberPke(const SaberParams& params, ring::PolyMulFn mul)
+    : params_(params), mul_(std::move(mul)) {
+  SABER_REQUIRE(static_cast<bool>(mul_), "multiplier required");
+}
+
+ring::PolyVec SaberPke::round_q_to_p(ring::PolyVec v) const {
+  for (auto& poly : v) {
+    poly = ring::shift_right(ring::add_constant(poly, SaberParams::h1, kEq), kEq - kEp);
+  }
+  return v;
+}
+
+std::vector<u8> SaberPke::pack_secret(const ring::SecretVec& s) const {
+  std::vector<u8> out;
+  out.reserve(params_.pke_sk_bytes());
+  for (const auto& poly : s) {
+    const auto bytes = ring::pack_poly(poly.to_poly(kEq), kEq);
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+  return out;
+}
+
+ring::SecretVec SaberPke::unpack_secret(std::span<const u8> sk) const {
+  SABER_REQUIRE(sk.size() >= params_.pke_sk_bytes(), "secret key too short");
+  ring::SecretVec s(params_.l);
+  for (std::size_t i = 0; i < params_.l; ++i) {
+    const auto poly = ring::unpack_poly<kNn>(
+        sk.subspan(i * params_.poly_q_bytes(), params_.poly_q_bytes()), kEq);
+    s[i] = ring::SecretPoly::from_poly(poly, kEq, params_.secret_bound());
+  }
+  return s;
+}
+
+std::vector<u8> SaberPke::pack_pk(const ring::PolyVec& b, const Seed& seed_a) const {
+  std::vector<u8> pk;
+  pk.reserve(params_.pk_bytes());
+  for (const auto& poly : b) {
+    const auto bytes = ring::pack_poly(poly, kEp);
+    pk.insert(pk.end(), bytes.begin(), bytes.end());
+  }
+  pk.insert(pk.end(), seed_a.begin(), seed_a.end());
+  return pk;
+}
+
+void SaberPke::unpack_pk(std::span<const u8> pk, ring::PolyVec& b, Seed& seed_a) const {
+  SABER_REQUIRE(pk.size() == params_.pk_bytes(), "bad public key length");
+  b.resize(params_.l);
+  for (std::size_t i = 0; i < params_.l; ++i) {
+    b[i] = ring::unpack_poly<kNn>(
+        pk.subspan(i * params_.poly_p_bytes(), params_.poly_p_bytes()), kEp);
+  }
+  std::copy_n(pk.end() - static_cast<std::ptrdiff_t>(SaberParams::seed_bytes),
+              SaberParams::seed_bytes, seed_a.begin());
+}
+
+PkeKeyPair SaberPke::keygen(const Seed& seed_a_in, const Seed& seed_s) const {
+  // The reference implementation re-hashes the A-seed so the public key does
+  // not expose raw system randomness.
+  Seed seed_a{};
+  sha3::Shake128 shake;
+  shake.update(seed_a_in);
+  shake.squeeze(seed_a);
+
+  const auto a = gen_matrix(seed_a, params_);
+  const auto s = gen_secret(seed_s, params_);
+  // b = round(A^T s + h): KeyGen multiplies by the transpose (round-3 spec).
+  auto b = matrix_vector_mul(a, s, mul_, kEq, /*transpose=*/true);
+  for (auto& poly : b) poly.reduce(kEq);
+  b = round_q_to_p(std::move(b));
+
+  return PkeKeyPair{pack_pk(b, seed_a), pack_secret(s)};
+}
+
+PkeKeyPair SaberPke::keygen(RandomSource& rng) const {
+  Seed seed_a{}, seed_s{};
+  rng.fill(seed_a);
+  rng.fill(seed_s);
+  return keygen(seed_a, seed_s);
+}
+
+std::vector<u8> SaberPke::encrypt(const Message& m, const Seed& seed_sp,
+                                  std::span<const u8> pk) const {
+  ring::PolyVec b;
+  Seed seed_a{};
+  unpack_pk(pk, b, seed_a);
+  const auto a = gen_matrix(seed_a, params_);
+  const auto sp = gen_secret(seed_sp, params_);
+
+  // b' = round(A s' + h), packed into the ciphertext.
+  auto bp = matrix_vector_mul(a, sp, mul_, kEq, /*transpose=*/false);
+  bp = round_q_to_p(std::move(bp));
+
+  std::vector<u8> ct;
+  ct.reserve(params_.ct_bytes());
+  for (const auto& poly : bp) {
+    const auto bytes = ring::pack_poly(poly, kEp);
+    ct.insert(ct.end(), bytes.begin(), bytes.end());
+  }
+
+  // cm = (v' + h1 - 2^(ep-1) m  mod p) >> (ep - et), with v' = b^T s' mod p.
+  auto vp = inner_product(b, sp, mul_, kEp);
+  const auto mp = message_to_poly(m);
+  ring::Poly cm;
+  for (std::size_t i = 0; i < kNn; ++i) {
+    const u32 v = static_cast<u32>(vp[i]) + SaberParams::h1 +
+                  (u32{1} << kEp) - (static_cast<u32>(mp[i]) << (kEp - 1));
+    cm[i] = static_cast<u16>(low_bits(v, kEp) >> (kEp - params_.et));
+  }
+  const auto cm_bytes = ring::pack_poly(cm, params_.et);
+  ct.insert(ct.end(), cm_bytes.begin(), cm_bytes.end());
+  SABER_ENSURE(ct.size() == params_.ct_bytes(), "ciphertext size mismatch");
+  return ct;
+}
+
+Message SaberPke::decrypt(std::span<const u8> ct, std::span<const u8> sk) const {
+  SABER_REQUIRE(ct.size() == params_.ct_bytes(), "bad ciphertext length");
+  const auto s = unpack_secret(sk);
+
+  ring::PolyVec bp(params_.l);
+  for (std::size_t i = 0; i < params_.l; ++i) {
+    bp[i] = ring::unpack_poly<kNn>(
+        ct.subspan(i * params_.poly_p_bytes(), params_.poly_p_bytes()), kEp);
+  }
+  const auto cm = ring::unpack_poly<kNn>(
+      ct.subspan(params_.l * params_.poly_p_bytes(), params_.poly_t_bytes()),
+      params_.et);
+
+  // m' = (v + h2 - 2^(ep-et) cm  mod p) >> (ep - 1), with v = b'^T s mod p.
+  auto v = inner_product(bp, s, mul_, kEp);
+  ring::Poly mp;
+  for (std::size_t i = 0; i < kNn; ++i) {
+    const u32 val = static_cast<u32>(v[i]) + params_.h2() + (u32{1} << kEp) -
+                    (static_cast<u32>(cm[i]) << (kEp - params_.et));
+    mp[i] = static_cast<u16>(low_bits(val, kEp) >> (kEp - 1));
+  }
+  return poly_to_message(mp);
+}
+
+}  // namespace saber::kem

@@ -1,0 +1,58 @@
+// Saber IND-CPA public-key encryption (round-3 spec, algorithms
+// Saber.PKE.KeyGen / Enc / Dec), with the polynomial multiplier injected so
+// the scheme can run on any software algorithm or simulated hardware
+// multiplier.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ring/polyvec.hpp"
+#include "saber/params.hpp"
+
+namespace saber::kem {
+
+struct PkeKeyPair {
+  std::vector<u8> pk;  ///< packed b (l * 320 bytes) || seed_A (32 bytes)
+  std::vector<u8> sk;  ///< packed s, 13-bit two's complement (l * 416 bytes)
+};
+
+using Message = std::array<u8, SaberParams::key_bytes>;
+using Seed = std::array<u8, SaberParams::seed_bytes>;
+
+class SaberPke {
+ public:
+  SaberPke(const SaberParams& params, ring::PolyMulFn mul);
+
+  const SaberParams& params() const { return params_; }
+
+  /// Key generation from explicit seeds (deterministic; the KEM layer and
+  /// tests use this). seed_a is re-hashed through SHAKE-128 as in the
+  /// reference implementation before expanding A.
+  PkeKeyPair keygen(const Seed& seed_a, const Seed& seed_s) const;
+
+  /// Randomized key generation.
+  PkeKeyPair keygen(RandomSource& rng) const;
+
+  /// Encrypt a 256-bit message under randomness seed `seed_sp`.
+  std::vector<u8> encrypt(const Message& m, const Seed& seed_sp,
+                          std::span<const u8> pk) const;
+
+  /// Decrypt.
+  Message decrypt(std::span<const u8> ct, std::span<const u8> sk) const;
+
+  // --- encoding helpers (exposed for tests and the hardware-backed KEM) ---
+  std::vector<u8> pack_secret(const ring::SecretVec& s) const;
+  ring::SecretVec unpack_secret(std::span<const u8> sk) const;
+  std::vector<u8> pack_pk(const ring::PolyVec& b, const Seed& seed_a) const;
+  void unpack_pk(std::span<const u8> pk, ring::PolyVec& b, Seed& seed_a) const;
+
+ private:
+  ring::PolyVec round_q_to_p(ring::PolyVec v) const;
+
+  SaberParams params_;
+  ring::PolyMulFn mul_;
+};
+
+}  // namespace saber::kem

@@ -1,0 +1,19 @@
+// Centered-binomial secret sampling (beta_mu in the Saber spec).
+//
+// Each coefficient is HW(x) - HW(y) for independent (mu/2)-bit strings x, y
+// taken LSB-first from a SHAKE-128 output stream, giving values in
+// [-mu/2, mu/2] — the "smallness" every architecture in the paper exploits.
+#pragma once
+
+#include <span>
+
+#include "ring/poly.hpp"
+#include "saber/params.hpp"
+
+namespace saber::kem {
+
+/// Sample one secret polynomial from a bit stream. Consumes n*mu bits
+/// (= n*mu/8 bytes) from `buf`; `buf` must be exactly that long.
+ring::SecretPoly cbd_sample(std::span<const u8> buf, unsigned mu);
+
+}  // namespace saber::kem

@@ -1,0 +1,53 @@
+// Keccak-f[1600] permutation and the generic sponge construction underlying
+// SHA-3 and SHAKE (FIPS 202). Implemented from the specification.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+#include "common/bits.hpp"
+
+namespace saber::sha3 {
+
+/// 1600-bit Keccak state: 25 lanes of 64 bits, lane (x, y) at index x + 5*y.
+using KeccakState = std::array<u64, 25>;
+
+/// Apply the full 24-round Keccak-f[1600] permutation in place.
+void keccak_f1600(KeccakState& state);
+
+/// Generic sponge with byte-granular absorb/squeeze.
+///
+/// `rate_bytes` is the block size (e.g. 136 for SHA3-256 / SHAKE-256, 168 for
+/// SHAKE-128, 72 for SHA3-512); `domain` is the padding domain-separation
+/// byte (0x06 for SHA-3, 0x1f for SHAKE).
+class Sponge {
+ public:
+  Sponge(std::size_t rate_bytes, u8 domain);
+
+  /// Absorb more message bytes. Must not be called after finalize().
+  void absorb(std::span<const u8> data);
+
+  /// Apply padding and switch to the squeezing phase.
+  void finalize();
+
+  /// Squeeze output bytes; implicitly finalizes on first call.
+  void squeeze(std::span<u8> out);
+
+  /// Reset to the empty-message state (same rate/domain).
+  void reset();
+
+  std::size_t rate_bytes() const { return rate_; }
+
+ private:
+  void permute_block();
+
+  KeccakState state_{};
+  std::size_t rate_;
+  u8 domain_;
+  std::size_t absorb_pos_ = 0;
+  std::size_t squeeze_pos_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace saber::sha3

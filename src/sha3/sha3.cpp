@@ -1,0 +1,12 @@
+#include "sha3/sha3.hpp"
+
+namespace saber::sha3 {
+
+// Explicit instantiations of the hash templates used throughout the library,
+// so downstream translation units link against a single copy.
+template class Sha3<32>;
+template class Sha3<64>;
+template class Shake<128>;
+template class Shake<256>;
+
+}  // namespace saber::sha3

@@ -1,0 +1,89 @@
+// SHA-3 fixed-output hashes and SHAKE extendable-output functions (FIPS 202),
+// plus a SHAKE-based deterministic random source used by the KEM layer.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sha3/keccak.hpp"
+
+namespace saber::sha3 {
+
+/// Fixed-output SHA-3 instance. `DigestBytes` in {32, 64}.
+template <std::size_t DigestBytes>
+class Sha3 {
+ public:
+  static constexpr std::size_t kDigestBytes = DigestBytes;
+  using Digest = std::array<u8, DigestBytes>;
+
+  Sha3() : sponge_(200 - 2 * DigestBytes, 0x06) {}
+
+  Sha3& update(std::span<const u8> data) {
+    sponge_.absorb(data);
+    return *this;
+  }
+
+  Digest digest() {
+    Digest out{};
+    sponge_.squeeze(out);
+    return out;
+  }
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const u8> data) { return Sha3().update(data).digest(); }
+
+ private:
+  Sponge sponge_;
+};
+
+using Sha3_256 = Sha3<32>;
+using Sha3_512 = Sha3<64>;
+
+/// SHAKE extendable-output function. `SecurityBits` in {128, 256}.
+template <std::size_t SecurityBits>
+class Shake {
+ public:
+  Shake() : sponge_(200 - 2 * (SecurityBits / 8), 0x1f) {}
+
+  Shake& update(std::span<const u8> data) {
+    sponge_.absorb(data);
+    return *this;
+  }
+
+  /// Squeeze `out.size()` bytes; can be called repeatedly for more output.
+  void squeeze(std::span<u8> out) { sponge_.squeeze(out); }
+
+  std::vector<u8> squeeze_vec(std::size_t n) {
+    std::vector<u8> out(n);
+    squeeze(out);
+    return out;
+  }
+
+  /// One-shot convenience.
+  static std::vector<u8> hash(std::span<const u8> data, std::size_t out_bytes) {
+    Shake x;
+    x.update(data);
+    return x.squeeze_vec(out_bytes);
+  }
+
+ private:
+  Sponge sponge_;
+};
+
+using Shake128 = Shake<128>;
+using Shake256 = Shake<256>;
+
+/// Deterministic RandomSource backed by SHAKE-128 over a seed.
+class ShakeDrbg final : public RandomSource {
+ public:
+  explicit ShakeDrbg(std::span<const u8> seed) { shake_.update(seed); }
+
+  void fill(std::span<u8> out) override { shake_.squeeze(out); }
+
+ private:
+  Shake128 shake_;
+};
+
+}  // namespace saber::sha3

@@ -1,0 +1,151 @@
+// Tests for the analysis/reporting layer: table rendering, Table-1 assembly,
+// KEM cycle profile, and the derived §5 claims.
+#include <gtest/gtest.h>
+
+#include "analysis/comparisons.hpp"
+#include "analysis/csv.hpp"
+#include "analysis/profile.hpp"
+#include "analysis/table.hpp"
+#include "analysis/table1.hpp"
+
+namespace saber::analysis {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("| alpha |     1 |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongWidth) {
+  TextTable t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(std::uint64_t{19471}), "19471");
+  EXPECT_EQ(TextTable::num(0.399, 2), "0.40");
+  EXPECT_EQ(TextTable::num(56.04, 1), "56.0");
+}
+
+TEST(Table1, ContainsEveryPaperRow) {
+  const auto rows = build_table1();
+  ASSERT_EQ(rows.size(), 8u);
+  EXPECT_EQ(rows[0].design, "LW (4 MACs)");
+  EXPECT_TRUE(rows[0].measured);
+  EXPECT_EQ(rows[0].paper_cycles, 19471u);
+  EXPECT_FALSE(rows[4].measured);  // [7] literature row
+  EXPECT_EQ(rows[4].cycles, 8176u);
+  EXPECT_EQ(rows[7].design, "[11] Karatsuba (our model)");
+}
+
+TEST(Table1, MeasuredValuesWithinTenPercentOfPaper) {
+  for (const auto& row : build_table1()) {
+    if (!row.measured || !row.paper_cycles) continue;
+    ASSERT_TRUE(row.paper_cycles && row.paper_lut && row.paper_ff);
+    EXPECT_NEAR(static_cast<double>(row.cycles), static_cast<double>(*row.paper_cycles),
+                0.05 * static_cast<double>(*row.paper_cycles))
+        << row.design;
+    EXPECT_NEAR(static_cast<double>(row.lut), static_cast<double>(*row.paper_lut),
+                0.10 * static_cast<double>(*row.paper_lut))
+        << row.design;
+    EXPECT_EQ(row.dsp, *row.paper_dsp) << row.design;
+  }
+}
+
+TEST(Table1, RenderingIncludesPaperValues) {
+  const auto rows = build_table1();
+  const auto text = render_table1(rows);
+  EXPECT_NE(text.find("(19471)"), std::string::npos);
+  EXPECT_NE(text.find("(15625)"), std::string::npos);
+  EXPECT_NE(text.find("reported"), std::string::npos);
+}
+
+TEST(Table1, ClaimsAndStructures) {
+  const auto claims = render_claims(build_table1());
+  EXPECT_NE(claims.find("paper 22%"), std::string::npos);
+  EXPECT_NE(claims.find("paper 46%"), std::string::npos);
+  const auto structures = render_structures();
+  EXPECT_NE(structures.find("Fig. 4"), std::string::npos);
+  EXPECT_NE(structures.find("central multiple generator"), std::string::npos);
+}
+
+TEST(Profile, HighSpeedMultShareNearPaper) {
+  // §1: multiplication takes "up to 56%" of the KEM time on the [10]-class
+  // design; our coprocessor model must land in that neighbourhood.
+  auto arch = arch::make_architecture("baseline-256");
+  const auto p = profile_kem(kem::kSaber, *arch);
+  EXPECT_GT(p.encaps.mult_share(), 0.45);
+  EXPECT_LT(p.encaps.mult_share(), 0.65);
+  EXPECT_GT(p.mult_share(), 0.45);
+  EXPECT_LT(p.mult_share(), 0.70);
+}
+
+TEST(Profile, FasterMultiplierLowersShare) {
+  auto slow = arch::make_architecture("hs1-256");
+  auto fast = arch::make_architecture("hs1-512");
+  const auto ps = profile_kem(kem::kSaber, *slow);
+  const auto pf = profile_kem(kem::kSaber, *fast);
+  EXPECT_LT(pf.mult_share(), ps.mult_share());
+  EXPECT_LT(pf.total(), ps.total());
+}
+
+TEST(Profile, LightweightIsMultiplicationBound) {
+  auto lw = arch::make_architecture("lw4");
+  const auto p = profile_kem(kem::kSaber, *lw);
+  EXPECT_GT(p.mult_share(), 0.95);
+}
+
+TEST(Profile, DecapsCostsMoreThanKeygen) {
+  // decaps = decrypt + full re-encryption: always the most expensive phase.
+  auto arch = arch::make_architecture("hs1-256");
+  const auto p = profile_kem(kem::kSaber, *arch);
+  EXPECT_GT(p.decaps.total(), p.encaps.total());
+  EXPECT_GT(p.encaps.total(), p.keygen.total());
+}
+
+TEST(Profile, RenderMentionsPaperClaim) {
+  auto arch = arch::make_architecture("hs1-256");
+  const auto p = profile_kem(kem::kSaber, *arch);
+  const auto text = render_profile(kem::kSaber, p, "hs1-256");
+  EXPECT_NE(text.find("up to 56%"), std::string::npos);
+  EXPECT_NE(text.find("KeyGen"), std::string::npos);
+}
+
+TEST(Csv, Table1ExportIsWellFormed) {
+  const auto csv = table1_csv(build_table1());
+  // Header + 8 rows, 11 fields each.
+  std::size_t lines = 0, commas_first_row = 0;
+  for (std::size_t pos = 0; pos < csv.size(); ++pos) {
+    if (csv[pos] == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 9u);
+  const auto first_row = csv.substr(csv.find('\n') + 1);
+  for (char ch : first_row.substr(0, first_row.find('\n'))) {
+    if (ch == ',') ++commas_first_row;
+  }
+  EXPECT_EQ(commas_first_row, 10u);
+  EXPECT_NE(csv.find("19057,19471"), std::string::npos);
+}
+
+TEST(Csv, DesignSpaceExportCoversAllArchitectures) {
+  const auto csv = design_space_csv();
+  for (const char* name : {"lw4", "hs1-256", "hs2-wide", "karatsuba-hw", "ntt-hw"}) {
+    EXPECT_NE(csv.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Comparisons, TablesRender) {
+  const auto lw = render_lightweight_comparison();
+  EXPECT_NE(lw.find("71349"), std::string::npos);       // RISQ-V row
+  EXPECT_NE(lw.find("~19000"), std::string::npos);      // [14] row
+  const auto ops = render_algorithm_ops();
+  EXPECT_NE(ops.find("schoolbook"), std::string::npos);
+  EXPECT_NE(ops.find("65536"), std::string::npos);      // 256^2 mults
+}
+
+}  // namespace
+}  // namespace saber::analysis

@@ -1,0 +1,132 @@
+// Unit tests for the common utilities: bit manipulation, RNG, hex codec,
+// contract checking.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+#include "common/hex.hpp"
+#include "common/rng.hpp"
+
+namespace saber {
+namespace {
+
+TEST(Bits, Mask64) {
+  EXPECT_EQ(mask64(0), 0u);
+  EXPECT_EQ(mask64(1), 1u);
+  EXPECT_EQ(mask64(13), 0x1fffu);
+  EXPECT_EQ(mask64(63), 0x7fffffffffffffffULL);
+  EXPECT_EQ(mask64(64), ~u64{0});
+  EXPECT_THROW(mask64(65), ContractViolation);
+}
+
+TEST(Bits, BitField) {
+  EXPECT_EQ(bit_field(0xabcd, 15, 8), 0xabu);
+  EXPECT_EQ(bit_field(0xabcd, 7, 0), 0xcdu);
+  EXPECT_EQ(bit_field(0xabcd, 3, 0), 0xdu);
+  EXPECT_EQ(bit_field(~u64{0}, 63, 0), ~u64{0});
+  EXPECT_THROW(bit_field(0, 3, 4), ContractViolation);
+}
+
+TEST(Bits, BitAt) {
+  EXPECT_EQ(bit_at(0b1010, 1), 1u);
+  EXPECT_EQ(bit_at(0b1010, 0), 0u);
+  EXPECT_EQ(bit_at(u64{1} << 63, 63), 1u);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0xf, 4), -1);
+  EXPECT_EQ(sign_extend(0x7, 4), 7);
+  EXPECT_EQ(sign_extend(0x8, 4), -8);
+  EXPECT_EQ(sign_extend(0x1fff, 13), -1);
+  EXPECT_EQ(sign_extend(0x0fff, 13), 4095);
+  EXPECT_EQ(sign_extend(0, 13), 0);
+}
+
+TEST(Bits, TwosComplementRoundTrip) {
+  for (unsigned bits : {4u, 13u, 16u}) {
+    const i64 half = i64{1} << (bits - 1);
+    for (i64 v = -half; v < half; v += std::max<i64>(1, half / 37)) {
+      EXPECT_EQ(sign_extend(to_twos_complement(v, bits), bits), v)
+          << "bits=" << bits << " v=" << v;
+    }
+  }
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div<u32>(0, 4), 0u);
+  EXPECT_EQ(ceil_div<u32>(1, 4), 1u);
+  EXPECT_EQ(ceil_div<u32>(4, 4), 1u);
+  EXPECT_EQ(ceil_div<u32>(5, 4), 2u);
+  EXPECT_EQ(ceil_div<std::size_t>(256 * 13, 64), 52u);  // public poly in words
+}
+
+TEST(Bits, Parity) {
+  EXPECT_EQ(parity(0), 0u);
+  EXPECT_EQ(parity(1), 1u);
+  EXPECT_EQ(parity(0b1011), 1u);
+  EXPECT_EQ(parity(0b1001), 0u);
+}
+
+TEST(Hex, RoundTrip) {
+  const std::vector<u8> data = {0x00, 0x01, 0xab, 0xff, 0x10};
+  EXPECT_EQ(to_hex(data), "0001abff10");
+  EXPECT_EQ(from_hex("0001abff10"), data);
+  EXPECT_EQ(from_hex("0001ABFF10"), data);
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_THROW(from_hex("abc"), ContractViolation);
+  EXPECT_THROW(from_hex("zz"), ContractViolation);
+}
+
+TEST(Rng, Deterministic) {
+  Xoshiro256StarStar a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, FillCoversAllBytes) {
+  Xoshiro256StarStar rng(7);
+  std::vector<u8> buf(4096, 0);
+  rng.fill(buf);
+  std::set<u8> seen(buf.begin(), buf.end());
+  // 4096 bytes from a uniform source hit nearly all 256 values.
+  EXPECT_GT(seen.size(), 200u);
+}
+
+TEST(Rng, UniformBound) {
+  Xoshiro256StarStar rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(13), 13u);
+  }
+  EXPECT_THROW(rng.uniform(0), ContractViolation);
+}
+
+TEST(Rng, UniformRangeHitsEndpoints) {
+  Xoshiro256StarStar rng(2);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const i64 v = rng.uniform_range(-4, 4);
+    EXPECT_GE(v, -4);
+    EXPECT_LE(v, 4);
+    lo |= v == -4;
+    hi |= v == 4;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Check, ThrowsWithLocation) {
+  try {
+    SABER_REQUIRE(false, "the message");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("the message"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("common_test.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace saber

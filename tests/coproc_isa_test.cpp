@@ -1,0 +1,246 @@
+// Instruction-level unit tests of the coprocessor ISA: each instruction's
+// functional semantics and cycle charging, independent of the Saber programs.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "coproc/programs.hpp"
+#include "saber/sampler.hpp"
+#include "mult/schoolbook.hpp"
+#include "multipliers/hw_multiplier.hpp"
+#include "ring/packing.hpp"
+#include "sha3/sha3.hpp"
+
+namespace saber::coproc {
+namespace {
+
+class IsaTest : public ::testing::Test {
+ protected:
+  IsaTest() : mult_(arch::make_architecture("hs1-256")), cp_(*mult_, 4096) {}
+
+  std::vector<u8> random_bytes(std::size_t n) {
+    std::vector<u8> v(n);
+    rng_.fill(v);
+    return v;
+  }
+
+  Xoshiro256StarStar rng_{99};
+  std::unique_ptr<arch::HwMultiplier> mult_;
+  Coprocessor cp_;
+  CycleLedger ledger_;
+};
+
+TEST_F(IsaTest, ShakeMatchesLibrary) {
+  const auto msg = random_bytes(100);
+  cp_.write_bytes({0, 100}, msg);
+  cp_.execute(OpShake128{{0, 100}, {128, 300}}, ledger_);
+  EXPECT_EQ(cp_.read_bytes({128, 300}), sha3::Shake128::hash(msg, 300));
+  EXPECT_GT(ledger_.hash, 0u);
+  EXPECT_EQ(ledger_.multiplier, 0u);
+}
+
+TEST_F(IsaTest, Sha3VariantsMatchLibrary) {
+  const auto msg = random_bytes(64);
+  cp_.write_bytes({0, 64}, msg);
+  cp_.execute(OpSha3_256{{0, 64}, {64, 32}}, ledger_);
+  const auto d256 = sha3::Sha3_256::hash(msg);
+  EXPECT_EQ(cp_.read_bytes({64, 32}), std::vector<u8>(d256.begin(), d256.end()));
+  cp_.execute(OpSha3_512{{0, 64}, {96, 64}}, ledger_);
+  const auto d512 = sha3::Sha3_512::hash(msg);
+  EXPECT_EQ(cp_.read_bytes({96, 64}), std::vector<u8>(d512.begin(), d512.end()));
+  // Output-size contracts.
+  EXPECT_THROW(cp_.execute(OpSha3_256{{0, 64}, {64, 31}}, ledger_), ContractViolation);
+}
+
+TEST_F(IsaTest, SampleCbdMatchesSampler) {
+  const auto buf = random_bytes(256);  // mu=8: 256 bytes
+  cp_.write_bytes({0, 256}, buf);
+  cp_.execute(OpSampleCbd{{0, 256}, {256, 128}, 8}, ledger_);
+  const auto s = kem::cbd_sample(buf, 8);
+  std::vector<u16> vals(ring::kN);
+  for (std::size_t i = 0; i < ring::kN; ++i) {
+    vals[i] = static_cast<u16>(to_twos_complement(s[i], 4));
+  }
+  EXPECT_EQ(cp_.read_bytes({256, 128}), ring::pack_bits(vals, 4));
+  EXPECT_GT(ledger_.sampler, 0u);
+}
+
+TEST_F(IsaTest, PolyMulAccAndStore) {
+  Xoshiro256StarStar rng(5);
+  const auto a = ring::Poly::random(rng, 13);
+  const auto s = ring::SecretPoly::random(rng, 4);
+  cp_.write_bytes({0, 416}, ring::pack_poly(a, 13));
+  std::vector<u16> svals(ring::kN);
+  for (std::size_t i = 0; i < ring::kN; ++i) {
+    svals[i] = static_cast<u16>(to_twos_complement(s[i], 4));
+  }
+  cp_.write_bytes({512, 128}, ring::pack_bits(svals, 4));
+
+  cp_.execute(OpPolyMulAcc{{0, 416}, {512, 128}, true}, ledger_);
+  cp_.execute(OpStoreAccRound{{1024, 416}, 0, 13, 0, 13}, ledger_);
+
+  mult::SchoolbookMultiplier ref;
+  const auto expect = ref.multiply_secret(a, s, 13);
+  EXPECT_EQ(cp_.read_bytes({1024, 416}), ring::pack_poly(expect, 13));
+  EXPECT_GT(ledger_.multiplier, 0u);
+
+  // Accumulation: a second product adds on top.
+  cp_.execute(OpPolyMulAcc{{0, 416}, {512, 128}, false}, ledger_);
+  cp_.execute(OpStoreAccRound{{1024, 416}, 0, 13, 0, 13}, ledger_);
+  const auto doubled = ring::add(expect, expect, 13);
+  EXPECT_EQ(cp_.read_bytes({1024, 416}), ring::pack_poly(doubled, 13));
+}
+
+TEST_F(IsaTest, StoreAccRoundImplementsSaberRounding) {
+  // acc = constant 8191; (8191 + 4) mod 2^13 = 3 -> >> 3 = 0.
+  const auto ones = ring::Poly::constant(8191);
+  cp_.write_bytes({0, 416}, ring::pack_poly(ones, 13));
+  ring::SecretPoly s{};
+  s[0] = 1;  // multiply by 1: acc = public operand
+  std::vector<u16> svals(ring::kN);
+  for (std::size_t i = 0; i < ring::kN; ++i) {
+    svals[i] = static_cast<u16>(to_twos_complement(s[i], 4));
+  }
+  cp_.write_bytes({512, 128}, ring::pack_bits(svals, 4));
+  cp_.execute(OpPolyMulAcc{{0, 416}, {512, 128}, true}, ledger_);
+  cp_.execute(OpStoreAccRound{{1024, 320}, kem::SaberParams::h1, 13, 3, 10}, ledger_);
+  const auto out = ring::unpack_poly<ring::kN>(cp_.read_bytes({1024, 320}), 10);
+  for (std::size_t i = 0; i < ring::kN; ++i) EXPECT_EQ(out[i], 0u) << i;
+}
+
+TEST_F(IsaTest, RepackRoundTrip) {
+  Xoshiro256StarStar rng(6);
+  const auto p = ring::Poly::random(rng, 10);
+  cp_.write_bytes({0, 320}, ring::pack_poly(p, 10));
+  cp_.execute(OpRepack{{0, 320}, {512, 416}, 10, 13}, ledger_);
+  EXPECT_EQ(cp_.read_bytes({512, 416}), ring::pack_poly(p, 13));
+  cp_.execute(OpRepack{{512, 416}, {1024, 320}, 13, 10}, ledger_);
+  EXPECT_EQ(cp_.read_bytes({1024, 320}), ring::pack_poly(p, 10));
+  EXPECT_GT(ledger_.data, 0u);
+}
+
+TEST_F(IsaTest, RepackSignedRoundTrip) {
+  Xoshiro256StarStar rng(7);
+  const auto s = ring::SecretPoly::random(rng, 4);
+  std::vector<u16> svals(ring::kN);
+  for (std::size_t i = 0; i < ring::kN; ++i) {
+    svals[i] = static_cast<u16>(to_twos_complement(s[i], 4));
+  }
+  cp_.write_bytes({0, 128}, ring::pack_bits(svals, 4));
+  cp_.execute(OpRepackSigned{{0, 128}, {512, 416}, 4, 13}, ledger_);
+  // The 13-bit image must equal the two's-complement embedding.
+  EXPECT_EQ(cp_.read_bytes({512, 416}), ring::pack_poly(s.to_poly(13), 13));
+  cp_.execute(OpRepackSigned{{512, 416}, {1024, 128}, 13, 4}, ledger_);
+  EXPECT_EQ(cp_.read_bytes({1024, 128}), cp_.read_bytes({0, 128}));
+}
+
+TEST_F(IsaTest, VerifyAndCMovImplementImplicitRejection) {
+  const auto x = random_bytes(64);
+  auto y = x;
+  cp_.write_bytes({0, 64}, x);
+  cp_.write_bytes({64, 64}, y);
+  const auto z = random_bytes(32);
+  const auto khat = random_bytes(32);
+  cp_.write_bytes({128, 32}, z);
+  cp_.write_bytes({160, 32}, khat);
+
+  CycleLedger ledger = cp_.run({
+      OpVerify{{0, 64}, {64, 64}},
+      OpCMov{{128, 32}, {160, 32}},
+  });
+  EXPECT_FALSE(cp_.fail_flag());
+  EXPECT_EQ(cp_.read_bytes({160, 32}), khat);  // untouched on match
+  EXPECT_GT(ledger.data, 0u);
+
+  y[13] ^= 1;
+  cp_.write_bytes({64, 64}, y);
+  cp_.write_bytes({160, 32}, khat);
+  cp_.run({
+      OpVerify{{0, 64}, {64, 64}},
+      OpCMov{{128, 32}, {160, 32}},
+  });
+  EXPECT_TRUE(cp_.fail_flag());
+  EXPECT_EQ(cp_.read_bytes({160, 32}), z);  // replaced on mismatch
+}
+
+TEST_F(IsaTest, CopyToleratesOverlap) {
+  const auto data = random_bytes(32);
+  cp_.write_bytes({0, 32}, data);
+  cp_.execute(OpCopy{{0, 32}, {8, 32}}, ledger_);
+  EXPECT_EQ(cp_.read_bytes({8, 32}), data);
+}
+
+TEST_F(IsaTest, RunClearsFlagsBetweenPrograms) {
+  const auto x = random_bytes(16);
+  auto y = x;
+  y[0] ^= 1;
+  cp_.write_bytes({0, 16}, x);
+  cp_.write_bytes({16, 16}, y);
+  cp_.run({OpVerify{{0, 16}, {16, 16}}});
+  EXPECT_TRUE(cp_.fail_flag());
+  cp_.run({OpVerify{{0, 16}, {0, 16}}});
+  EXPECT_FALSE(cp_.fail_flag());  // fresh run, fresh flag
+}
+
+TEST_F(IsaTest, DispatchCyclesPerInstruction) {
+  const auto ledger = cp_.run({OpCopy{{0, 8}, {8, 8}}, OpCopy{{16, 8}, {24, 8}}});
+  EXPECT_EQ(ledger.control, 2u);
+}
+
+TEST(Disassembler, RendersEveryInstructionForm) {
+  EXPECT_EQ(disassemble(OpShake128{{0x40, 32}, {0x80, 64}}),
+            "shake128    [0x40+32] -> [0x80+64]");
+  EXPECT_NE(disassemble(OpPolyMulAcc{{0, 416}, {512, 128}, true}).find("(clear)"),
+            std::string::npos);
+  EXPECT_NE(disassemble(OpPolyMulAcc{{0, 416}, {512, 128}, false}).find("(+=)"),
+            std::string::npos);
+  EXPECT_NE(disassemble(OpStoreAccRound{{0, 320}, 4, 13, 3, 10}).find(">>3"),
+            std::string::npos);
+  EXPECT_NE(disassemble(OpCMov{{0, 32}, {32, 32}}).find("if fail"), std::string::npos);
+}
+
+TEST(Disassembler, KemProgramListingsAreComplete) {
+  const SaberLayout L(kem::kSaber);
+  const auto keygen = disassemble(kem_keygen_program(L));
+  // l=3 keygen: 3 sampled secrets, 9 mul-accs, 3 rounds, pk hash.
+  EXPECT_NE(keygen.find("sample.cbd"), std::string::npos);
+  std::size_t mulaccs = 0;
+  for (std::size_t pos = keygen.find("poly.mulacc"); pos != std::string::npos;
+       pos = keygen.find("poly.mulacc", pos + 1)) {
+    ++mulaccs;
+  }
+  EXPECT_EQ(mulaccs, 9u);
+  const auto decaps = disassemble(kem_decaps_program(L));
+  EXPECT_NE(decaps.find("verify"), std::string::npos);
+  EXPECT_NE(decaps.find("cmov"), std::string::npos);
+  // Decaps: 3 decrypt + 9 re-encrypt matrix + 3 re-encrypt inner = 15.
+  mulaccs = 0;
+  for (std::size_t pos = decaps.find("poly.mulacc"); pos != std::string::npos;
+       pos = decaps.find("poly.mulacc", pos + 1)) {
+    ++mulaccs;
+  }
+  EXPECT_EQ(mulaccs, 15u);
+}
+
+TEST(SaberLayoutTest, RegionsAreDisjointAndAligned) {
+  for (const auto& p : kem::kAllParams) {
+    const SaberLayout L(p);
+    const Region* regions[] = {&L.seed_a_in, &L.seed_a, &L.seed_s, &L.a_bytes,
+                               &L.s_cbd,     &L.s4,     &L.pk,     &L.sk13,
+                               &L.op13,      &L.ct,     &L.msg,    &L.hash_pk,
+                               &L.z,         &L.m_raw,  &L.m,      &L.buf,
+                               &L.kr,        &L.key,    &L.ct2,    &L.m_prime};
+    for (std::size_t i = 0; i < std::size(regions); ++i) {
+      EXPECT_EQ(regions[i]->addr % 8, 0u) << p.name << " region " << i;
+      for (std::size_t j = i + 1; j < std::size(regions); ++j) {
+        const bool disjoint =
+            regions[i]->addr + regions[i]->bytes <= regions[j]->addr ||
+            regions[j]->addr + regions[j]->bytes <= regions[i]->addr;
+        EXPECT_TRUE(disjoint) << p.name << " regions " << i << "," << j;
+      }
+    }
+    EXPECT_LE(L.total_bytes, 32768u) << "memory stays in a few BRAMs";
+  }
+}
+
+}  // namespace
+}  // namespace saber::coproc

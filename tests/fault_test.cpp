@@ -1,0 +1,111 @@
+// Fault-injection meta-tests: demonstrate that the verification machinery is
+// *sensitive* — a corrupted datapath or memory image cannot slip through the
+// checks the other tests rely on. Each test injects a specific fault and
+// asserts the corresponding detector fires.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mult/schoolbook.hpp"
+#include "multipliers/hw_multiplier.hpp"
+#include "multipliers/memory_map.hpp"
+#include "saber/kem.hpp"
+
+namespace saber::arch {
+namespace {
+
+constexpr unsigned kQ = 13;
+
+/// Wraps an architecture and flips one coefficient bit in every product —
+/// modeling a single stuck-at fault in the accumulator path.
+class FaultyMultiplier final : public HwMultiplier {
+ public:
+  explicit FaultyMultiplier(std::string_view inner) : inner_(make_architecture(inner)) {}
+
+  std::string_view name() const override { return "faulty"; }
+  MultiplierResult multiply(const ring::Poly& a, const ring::SecretPoly& s,
+                            const ring::Poly* accumulate = nullptr) override {
+    auto res = inner_->multiply(a, s, accumulate);
+    res.product[fault_index_] ^= static_cast<u16>(1u << fault_bit_);
+    return res;
+  }
+  const hw::AreaLedger& area() const override { return inner_->area(); }
+  unsigned logic_depth() const override { return inner_->logic_depth(); }
+  u64 headline_cycles() const override { return inner_->headline_cycles(); }
+  bool headline_includes_overhead() const override {
+    return inner_->headline_includes_overhead();
+  }
+
+  void set_fault(std::size_t index, unsigned bit) {
+    fault_index_ = index;
+    fault_bit_ = bit;
+  }
+
+ private:
+  std::unique_ptr<HwMultiplier> inner_;
+  std::size_t fault_index_ = 0;
+  unsigned fault_bit_ = 0;
+};
+
+TEST(FaultInjection, SingleBitFaultAlwaysDetectedByReferenceCheck) {
+  // Any single-bit accumulator fault must differ from the reference — for
+  // every bit position (the check has no blind spots in the coefficient).
+  FaultyMultiplier faulty("hs1-256");
+  mult::SchoolbookMultiplier ref;
+  Xoshiro256StarStar rng(808);
+  const auto a = ring::Poly::random(rng, kQ);
+  const auto s = ring::SecretPoly::random(rng, 4);
+  const auto expect = ref.multiply_secret(a, s, kQ);
+  for (unsigned bit = 0; bit < kQ; ++bit) {
+    faulty.set_fault(bit * 19 % ring::kN, bit);
+    EXPECT_NE(faulty.multiply(a, s).product, expect) << "bit " << bit;
+  }
+}
+
+TEST(FaultInjection, FaultyBackendBreaksTheKemVisibly) {
+  // A faulty multiplier inside the KEM produces pk/ct that the correct
+  // implementation rejects: decryption failure surfaces as key mismatch.
+  // (This is why the cross-backend KEM tests are strong end-to-end checks.)
+  FaultyMultiplier faulty("hs1-256");
+  faulty.set_fault(100, 9);  // a high bit: guaranteed to survive rounding
+  auto fn_faulty = as_poly_mul(faulty);
+
+  auto good = make_architecture("hs1-256");
+  auto fn_good = as_poly_mul(*good);
+
+  // Same seeds, two backends: keys must diverge.
+  Xoshiro256StarStar rng1(11), rng2(11);
+  kem::SaberKemScheme scheme_faulty(kem::kSaber, fn_faulty);
+  kem::SaberKemScheme scheme_good(kem::kSaber, fn_good);
+  const auto kp_f = scheme_faulty.keygen(rng1);
+  const auto kp_g = scheme_good.keygen(rng2);
+  EXPECT_NE(kp_f.pk, kp_g.pk);
+}
+
+TEST(FaultInjection, MemoryImageCorruptionCaughtByEnsure) {
+  // The architectures assert that the packed memory image equals the
+  // register-file product at the end of a run; corrupt memory through the
+  // backdoor mid-flight and the invariant must trip. Here we emulate by
+  // corrupting the packed result and checking read_result disagrees.
+  hw::Bram64 mem(MemoryMap::kTotalWords);
+  Xoshiro256StarStar rng(809);
+  const auto a = ring::Poly::random(rng, kQ);
+  const auto s = ring::SecretPoly::random(rng, 4);
+  load_operands(mem, a, s);
+  mult::SchoolbookMultiplier ref;
+  const auto product = ref.multiply_secret(a, s, kQ);
+  store_accumulator(mem, product);
+  ASSERT_EQ(read_result(mem), product);
+  mem.poke(MemoryMap::kAccBase + 7, mem.peek(MemoryMap::kAccBase + 7) ^ 0x10);
+  EXPECT_NE(read_result(mem), product);
+}
+
+TEST(FaultInjection, OperandPreconditionsAreEnforced) {
+  auto arch = make_architecture("hs1-256");
+  ring::Poly unreduced{};
+  unreduced[0] = 0x2000;  // 14 bits: not a valid mod-q operand
+  ring::SecretPoly s{};
+  EXPECT_THROW(arch->multiply(unreduced, s), ContractViolation);
+}
+
+}  // namespace
+}  // namespace saber::arch

@@ -1,0 +1,305 @@
+// Unit tests for the hardware-simulation substrate: BRAM port discipline,
+// DSP48 bit-exactness and pipelining, MAC datapaths, area model rules.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "hw/area.hpp"
+#include "hw/bram.hpp"
+#include "hw/dsp48.hpp"
+#include "hw/mac.hpp"
+
+namespace saber::hw {
+namespace {
+
+// ------------------------------------------------------------------- BRAM
+
+TEST(Bram, ReadLatencyOneCycle) {
+  Bram64 mem(8);
+  mem.poke(3, 0xdeadbeef);
+  mem.read(3);
+  EXPECT_EQ(mem.reads_completed(), 0u);  // nothing latched yet
+  mem.tick();
+  EXPECT_EQ(mem.reads_completed(), 1u);
+  EXPECT_EQ(mem.read_data(), 0xdeadbeefu);
+}
+
+TEST(Bram, WriteCommitsAtTick) {
+  Bram64 mem(4);
+  mem.write(1, 42);
+  EXPECT_EQ(mem.peek(1), 0u);
+  mem.tick();
+  EXPECT_EQ(mem.peek(1), 42u);
+}
+
+TEST(Bram, ReadFirstSemantics) {
+  // A same-cycle read+write of one address returns the old contents.
+  Bram64 mem(4);
+  mem.poke(2, 7);
+  mem.read(2);
+  mem.write(2, 9);
+  mem.tick();
+  EXPECT_EQ(mem.read_data(), 7u);
+  EXPECT_EQ(mem.peek(2), 9u);
+}
+
+TEST(Bram, PortConflictsAreHardErrors) {
+  Bram64 mem(4);
+  mem.read(0);
+  EXPECT_THROW(mem.read(1), ContractViolation);
+  mem.write(2, 1);
+  EXPECT_THROW(mem.write(3, 1), ContractViolation);
+}
+
+TEST(Bram, SameAddressDoubleWriteRejected) {
+  Bram64 mem(4, 2);
+  mem.write(1, 5);
+  EXPECT_THROW(mem.write(1, 6), ContractViolation);
+}
+
+TEST(Bram, MultiPortVariant) {
+  Bram64 mem(8, 2);
+  mem.read(0);
+  mem.read(1);  // second read OK with 2 banks
+  EXPECT_THROW(mem.read(2), ContractViolation);
+  mem.poke(0, 10);
+  mem.poke(1, 11);
+  mem.tick();
+  EXPECT_EQ(mem.read_data(0), 10u);
+  EXPECT_EQ(mem.read_data(1), 11u);
+}
+
+TEST(Bram, AccessCountersAccumulate) {
+  Bram64 mem(4);
+  for (int i = 0; i < 5; ++i) {
+    mem.read(0);
+    mem.write(1, static_cast<u64>(i));
+    mem.tick();
+  }
+  EXPECT_EQ(mem.reads(), 5u);
+  EXPECT_EQ(mem.writes(), 5u);
+}
+
+TEST(Bram, OutOfRangeRejected) {
+  Bram64 mem(4);
+  EXPECT_THROW(mem.read(4), ContractViolation);
+  EXPECT_THROW(mem.write(5, 0), ContractViolation);
+  EXPECT_THROW(mem.peek(4), ContractViolation);
+}
+
+// ------------------------------------------------------------------- DSP48
+
+TEST(Dsp48, MultiplyAddBitExact) {
+  Dsp48 dsp(1);
+  dsp.set_inputs(123456, 65432, 999);
+  dsp.tick();
+  ASSERT_TRUE(dsp.p_valid());
+  EXPECT_EQ(dsp.p(), 123456ll * 65432 + 999);
+}
+
+TEST(Dsp48, SignedOperands) {
+  Dsp48 dsp(1);
+  dsp.set_inputs(-(1 << 26), (1 << 17) - 1, 0);
+  dsp.tick();
+  EXPECT_EQ(dsp.p(), -static_cast<i64>(1ull << 26) * ((1 << 17) - 1));
+}
+
+TEST(Dsp48, OperandRangeEnforced) {
+  Dsp48 dsp(1);
+  EXPECT_THROW(dsp.set_inputs(i64{1} << 26, 0, 0), ContractViolation);
+  EXPECT_THROW(dsp.set_inputs(0, i64{1} << 17, 0), ContractViolation);
+  dsp.set_inputs((i64{1} << 26) - 1, (i64{1} << 17) - 1, 0);  // max unsigned fits
+}
+
+TEST(Dsp48, PipelineLatency) {
+  Dsp48 dsp(3);
+  dsp.set_inputs(5, 7, 0);
+  dsp.tick();
+  EXPECT_FALSE(dsp.p_valid());
+  dsp.tick();
+  EXPECT_FALSE(dsp.p_valid());
+  dsp.tick();
+  ASSERT_TRUE(dsp.p_valid());
+  EXPECT_EQ(dsp.p(), 35);
+  dsp.tick();  // no new inputs: bubble propagates
+  EXPECT_FALSE(dsp.p_valid());
+}
+
+TEST(Dsp48, BackToBackThroughput) {
+  Dsp48 dsp(3);
+  std::vector<i64> results;
+  for (int t = 0; t < 10; ++t) {
+    if (t < 7) dsp.set_inputs(t, 10, 0);
+    dsp.tick();
+    if (dsp.p_valid()) results.push_back(dsp.p());
+  }
+  EXPECT_EQ(results, (std::vector<i64>{0, 10, 20, 30, 40, 50, 60}));
+  EXPECT_EQ(dsp.ops(), 7u);
+}
+
+TEST(Dsp48, FortyEightBitWraparound) {
+  Dsp48 dsp(1);
+  // (2^26-1) * (2^17-1) + huge C wraps modulo 2^48, sign-extended.
+  const i64 c = (i64{1} << 47) - 1;
+  dsp.set_inputs((i64{1} << 26) - 1, (i64{1} << 17) - 1, c);
+  dsp.tick();
+  const u64 expect =
+      static_cast<u64>(((i64{1} << 26) - 1) * ((i64{1} << 17) - 1) + c);
+  EXPECT_EQ(dsp.p(), sign_extend(expect, 48));
+}
+
+// ------------------------------------------------ parameterized port sweeps
+
+class BramPorts : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BramPorts, CapacityIsExactlyPorts) {
+  const unsigned ports = GetParam();
+  Bram64 mem(64, ports);
+  for (unsigned p = 0; p < ports; ++p) {
+    mem.read(p);
+    mem.write(32 + p, p);
+  }
+  EXPECT_THROW(mem.read(60), ContractViolation);
+  EXPECT_THROW(mem.write(61, 0), ContractViolation);
+  mem.tick();
+  for (unsigned p = 0; p < ports; ++p) {
+    EXPECT_EQ(mem.peek(32 + p), p);
+    EXPECT_EQ(mem.read_data(p), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OneToFour, BramPorts, ::testing::Values(1u, 2u, 3u, 4u));
+
+class DspPipeline : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DspPipeline, LatencyEqualsDepth) {
+  const unsigned depth = GetParam();
+  Dsp48 dsp(depth);
+  dsp.set_inputs(9, 9, 0);
+  for (unsigned c = 0; c + 1 < depth; ++c) {
+    dsp.tick();
+    EXPECT_FALSE(dsp.p_valid()) << "cycle " << c;
+  }
+  dsp.tick();
+  ASSERT_TRUE(dsp.p_valid());
+  EXPECT_EQ(dsp.p(), 81);
+}
+
+TEST_P(DspPipeline, SustainedThroughputIsOnePerCycle) {
+  const unsigned depth = GetParam();
+  Dsp48 dsp(depth);
+  unsigned outputs = 0;
+  for (unsigned t = 0; t < 50; ++t) {
+    dsp.set_inputs(static_cast<i64>(t), 3, 0);
+    dsp.tick();
+    if (dsp.p_valid()) {
+      EXPECT_EQ(dsp.p(), static_cast<i64>(t + 1 - depth) * 3);
+      ++outputs;
+    }
+  }
+  EXPECT_EQ(outputs, 50u - (depth - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DspPipeline, ::testing::Values(1u, 2u, 3u, 4u));
+
+class DspGenerations : public ::testing::TestWithParam<DspPorts> {};
+
+TEST_P(DspGenerations, RangesFollowPorts) {
+  const auto ports = GetParam();
+  Dsp48 dsp(1, ports);
+  const i64 amax = (i64{1} << (ports.a_bits - 1)) - 1;
+  const i64 bmax = (i64{1} << (ports.b_bits - 1)) - 1;
+  dsp.set_inputs(amax, bmax, 0);
+  dsp.tick();
+  EXPECT_EQ(dsp.p(), sign_extend(static_cast<u64>(amax * bmax), ports.p_bits));
+  EXPECT_THROW(dsp.set_inputs(amax + 1, 0, 0), ContractViolation);
+  EXPECT_THROW(dsp.set_inputs(0, bmax + 1, 0), ContractViolation);
+}
+
+INSTANTIATE_TEST_SUITE_P(E2AndDsp58, DspGenerations,
+                         ::testing::Values(kDsp48E2, kDsp58),
+                         [](const auto& pinfo) {
+                           return pinfo.param.b_bits == 18 ? std::string("dsp48e2")
+                                                           : std::string("dsp58");
+                         });
+
+// -------------------------------------------------------------------- MACs
+
+TEST(Mac, ShiftAddMatchesMultiplication) {
+  for (unsigned qbits : {10u, 13u}) {
+    for (u32 a = 0; a < (1u << qbits); a += 37) {
+      for (unsigned m = 0; m <= 5; ++m) {
+        EXPECT_EQ(shift_add_multiple(static_cast<u16>(a), m, qbits),
+                  (a * m) & ((1u << qbits) - 1))
+            << "a=" << a << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(Mac, ShiftAddRejectsLargeMagnitude) {
+  EXPECT_THROW(shift_add_multiple(1, 6, 13), ContractViolation);
+}
+
+TEST(Mac, MultipleSetBroadcast) {
+  const MultipleSet set(1234, 13, 4);
+  for (unsigned m = 0; m <= 4; ++m) {
+    EXPECT_EQ(set.select(m), shift_add_multiple(1234, m, 13));
+  }
+  EXPECT_THROW(set.select(5), ContractViolation);
+}
+
+TEST(Mac, AccumulateSigned) {
+  EXPECT_EQ(mac_accumulate(100, 30, false, 13), 130);
+  EXPECT_EQ(mac_accumulate(100, 30, true, 13), 70);
+  EXPECT_EQ(mac_accumulate(10, 30, true, 13), (8192 + 10 - 30) & 8191);
+  EXPECT_EQ(mac_accumulate(8191, 1, false, 13), 0);  // wraps mod q
+}
+
+TEST(Mac, CycleStatsOverhead) {
+  CycleStats st;
+  st.total = 213;
+  st.compute = 128;
+  EXPECT_EQ(st.overhead(), 85u);
+  EXPECT_NEAR(st.overhead_fraction(), 0.399, 0.001);
+  EXPECT_NE(st.to_string().find("overhead=85"), std::string::npos);
+}
+
+// -------------------------------------------------------------------- area
+
+TEST(Area, PrimitiveRules) {
+  EXPECT_EQ(reg(13).ff, 13u);
+  EXPECT_EQ(adder(13).lut, 13u);
+  EXPECT_EQ(add_sub(13).lut, 14u);
+  EXPECT_EQ(mux(2, 64).lut, 32u);   // dual-output LUT5 packing
+  EXPECT_EQ(mux(4, 13).lut, 13u);   // one LUT6 per bit
+  EXPECT_EQ(mux(5, 13).lut, 26u);   // two LUT6 per bit (+F7, free)
+  EXPECT_EQ(mux(8, 13).lut, 26u);
+  EXPECT_EQ(mux(16, 13).lut, 52u);
+  EXPECT_THROW(mux(17, 8), ContractViolation);
+  EXPECT_EQ(dsp_slice().dsp, 1u);
+  EXPECT_EQ(counter(9).lut, 9u);
+  EXPECT_EQ(counter(9).ff, 9u);
+}
+
+TEST(Area, LedgerTotalsAndReport) {
+  AreaLedger ledger;
+  ledger.add("macs", 4, mux(5, 13) + add_sub(13));
+  ledger.add("buffer", 1, reg(128));
+  const auto t = ledger.total();
+  EXPECT_EQ(t.lut, 4u * 40u);
+  EXPECT_EQ(t.ff, 128u);
+  const auto text = ledger.to_string("LW");
+  EXPECT_NE(text.find("macs"), std::string::npos);
+  EXPECT_NE(text.find("TOTAL"), std::string::npos);
+}
+
+TEST(Area, CostArithmetic) {
+  const AreaCost a{.lut = 2, .ff = 3, .dsp = 1, .bram = 0};
+  const auto b = a * 3 + a;
+  EXPECT_EQ(b.lut, 8u);
+  EXPECT_EQ(b.ff, 12u);
+  EXPECT_EQ(b.dsp, 4u);
+}
+
+}  // namespace
+}  // namespace saber::hw

@@ -1,0 +1,237 @@
+// Cross-algorithm agreement and unit tests for the software multipliers.
+// The schoolbook algorithm is the reference; Karatsuba (all depths),
+// Toom-Cook-4 and the NTT must agree with it bit-for-bit on every modulus.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "mult/karatsuba.hpp"
+#include "mult/modmath.hpp"
+#include "mult/ntt.hpp"
+#include "mult/schoolbook.hpp"
+#include "mult/strategy.hpp"
+#include "mult/toomcook.hpp"
+
+namespace saber::mult {
+namespace {
+
+using ring::kN;
+using ring::Poly;
+using ring::SecretPoly;
+
+// ---------------------------------------------------------------- agreement
+
+class Agreement
+    : public ::testing::TestWithParam<std::tuple<std::string_view, unsigned>> {
+ protected:
+  std::unique_ptr<PolyMultiplier> algo_ = make_multiplier(std::get<0>(GetParam()));
+  unsigned qbits_ = std::get<1>(GetParam());
+  SchoolbookMultiplier ref_;
+};
+
+TEST_P(Agreement, RandomOperands) {
+  Xoshiro256StarStar rng(1234);
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto a = Poly::random(rng, qbits_);
+    const auto b = Poly::random(rng, qbits_);
+    EXPECT_EQ(algo_->multiply(a, b, qbits_), ref_.multiply(a, b, qbits_))
+        << algo_->name() << " iter " << iter;
+  }
+}
+
+TEST_P(Agreement, SaberShapedOperands) {
+  Xoshiro256StarStar rng(99);
+  for (unsigned bound : {1u, 4u, 5u}) {
+    const auto a = Poly::random(rng, qbits_);
+    const auto s = SecretPoly::random(rng, bound);
+    EXPECT_EQ(algo_->multiply_secret(a, s, qbits_), ref_.multiply_secret(a, s, qbits_));
+  }
+}
+
+TEST_P(Agreement, AdversarialOperands) {
+  const auto qmax = static_cast<u16>(mask64(qbits_));
+  const auto all_max = Poly::constant(qmax);
+  const Poly zero{};
+  Poly one{};
+  one[0] = 1;
+  Poly x255{};
+  x255[255] = 1;
+  const Poly cases[] = {zero, one, x255, all_max};
+  for (const auto& a : cases) {
+    for (const auto& b : cases) {
+      EXPECT_EQ(algo_->multiply(a, b, qbits_), ref_.multiply(a, b, qbits_));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAllModuli, Agreement,
+    ::testing::Combine(::testing::Values(std::string_view("karatsuba-1"),
+                                         std::string_view("karatsuba-4"),
+                                         std::string_view("karatsuba-8"),
+                                         std::string_view("toom3"),
+                                         std::string_view("toom4"),
+                                         std::string_view("ntt")),
+                       ::testing::Values(10u, 13u)),
+    [](const auto& pinfo) {
+      auto name = std::string(std::get<0>(pinfo.param));
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name + "_q" + std::to_string(std::get<1>(pinfo.param));
+    });
+
+// ------------------------------------------------------------ ring algebra
+
+TEST(Schoolbook, RingAxioms) {
+  Xoshiro256StarStar rng(4321);
+  SchoolbookMultiplier m;
+  const unsigned q = 13;
+  const auto a = Poly::random(rng, q);
+  const auto b = Poly::random(rng, q);
+  const auto c = Poly::random(rng, q);
+
+  // Commutativity.
+  EXPECT_EQ(m.multiply(a, b, q), m.multiply(b, a, q));
+  // Associativity.
+  EXPECT_EQ(m.multiply(m.multiply(a, b, q), c, q),
+            m.multiply(a, m.multiply(b, c, q), q));
+  // Distributivity.
+  EXPECT_EQ(m.multiply(a, ring::add(b, c, q), q),
+            ring::add(m.multiply(a, b, q), m.multiply(a, c, q), q));
+  // Multiplicative identity.
+  Poly one{};
+  one[0] = 1;
+  EXPECT_EQ(m.multiply(a, one, q), a);
+  // x^N == -1 (negacyclic wrap).
+  Poly x{};
+  x[1] = 1;
+  auto ax = a;
+  for (int i = 0; i < 256; ++i) ax = m.multiply(ax, x, q);
+  EXPECT_EQ(ring::add(ax, a, q), Poly{});
+}
+
+TEST(Schoolbook, ConvolutionLengths) {
+  OpCounts ops;
+  std::vector<i64> a = {1, 2}, b = {3, 4, 5};
+  std::vector<i64> out(4);
+  schoolbook_conv(a, b, out, ops);
+  EXPECT_EQ(out, (std::vector<i64>{3, 10, 13, 10}));
+  EXPECT_EQ(ops.coeff_mults, 6u);
+  std::vector<i64> bad(5);
+  EXPECT_THROW(schoolbook_conv(a, b, bad, ops), ContractViolation);
+}
+
+TEST(Karatsuba, HandlesOddLengthsViaBaseCase) {
+  OpCounts ops;
+  std::vector<i64> a = {1, -2, 3}, b = {4, 5, -6};
+  std::vector<i64> kout(5), sout(5);
+  karatsuba_conv(a, b, kout, 8, ops);
+  schoolbook_conv(a, b, sout, ops);
+  EXPECT_EQ(kout, sout);
+}
+
+TEST(Karatsuba, DepthZeroIsSchoolbook) {
+  KaratsubaMultiplier k0(0);
+  SchoolbookMultiplier sb;
+  Xoshiro256StarStar rng(5);
+  const auto a = Poly::random(rng, 13);
+  const auto b = Poly::random(rng, 13);
+  EXPECT_EQ(k0.multiply(a, b, 13), sb.multiply(a, b, 13));
+  // Same multiplication count as schoolbook.
+  EXPECT_EQ(k0.ops().coeff_mults, sb.ops().coeff_mults);
+}
+
+TEST(Karatsuba, OpCountShrinksWithDepth) {
+  Xoshiro256StarStar rng(6);
+  const auto a = Poly::random(rng, 13);
+  const auto b = Poly::random(rng, 13);
+  u64 prev_mults = ~u64{0};
+  for (unsigned levels : {0u, 2u, 4u, 8u}) {
+    KaratsubaMultiplier k(levels);
+    k.multiply(a, b, 13);
+    EXPECT_LT(k.ops().coeff_mults, prev_mults) << "levels=" << levels;
+    prev_mults = k.ops().coeff_mults;
+  }
+  // Full depth: 3^8 one-coefficient base multiplications.
+  KaratsubaMultiplier k8(8);
+  k8.multiply(a, b, 13);
+  EXPECT_EQ(k8.ops().coeff_mults, 6561u);
+}
+
+TEST(ToomCook, ExactOnWorstCase) {
+  // All-maximal coefficients maximize the interpolation intermediates; the
+  // exact-division invariants inside conv() must hold.
+  ToomCook4Multiplier t;
+  SchoolbookMultiplier sb;
+  const auto a = Poly::constant(8191);
+  EXPECT_EQ(t.multiply(a, a, 13), sb.multiply(a, a, 13));
+}
+
+TEST(ToomCook, SubMultiplicationCount) {
+  // Toom-4 should use 7 size-64 sub-multiplications; with Karatsuba layered
+  // below, the count is 7 * 3^6 = 5103 base multiplications.
+  ToomCook4Multiplier t;
+  Xoshiro256StarStar rng(7);
+  const auto a = Poly::random(rng, 13);
+  const auto b = Poly::random(rng, 13);
+  t.multiply(a, b, 13);
+  EXPECT_EQ(t.ops().coeff_mults - 7u * 7u * 127u -  // interpolation weights
+                2u * 3u * 6u * 64u,                 // evaluation Horner steps
+            5103u);
+}
+
+TEST(Ntt, PrimeAndRootAreValid) {
+  EXPECT_TRUE(is_prime_u64(NttMultiplier::kPrime));
+  EXPECT_EQ((NttMultiplier::kPrime - 1) % 512, 0u);
+}
+
+TEST(Ntt, ForwardInverseRoundTrip) {
+  NttMultiplier ntt;
+  Xoshiro256StarStar rng(8);
+  std::array<u64, 256> v{}, orig{};
+  for (auto& x : v) x = rng.uniform(NttMultiplier::kPrime);
+  orig = v;
+  ntt.forward(v);
+  EXPECT_NE(v, orig);  // transform moved the data
+  ntt.inverse(v);
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Modmath, PowAndInverse) {
+  constexpr u64 p = NttMultiplier::kPrime;
+  EXPECT_EQ(powmod(2, 10, 1000), 24u);
+  const u64 x = 123456789;
+  EXPECT_EQ(mulmod(x, invmod_prime(x, p), p), 1u);
+}
+
+TEST(Modmath, MillerRabin) {
+  EXPECT_TRUE(is_prime_u64(2));
+  EXPECT_TRUE(is_prime_u64(7919));
+  EXPECT_TRUE(is_prime_u64(0xFFFFFFFFFFFFFFC5ULL));  // largest 64-bit prime
+  EXPECT_FALSE(is_prime_u64(1));
+  EXPECT_FALSE(is_prime_u64(561));      // Carmichael
+  EXPECT_FALSE(is_prime_u64(3215031751ULL));  // strong pseudoprime to 2,3,5,7
+}
+
+TEST(Strategy, FactoryKnowsAllNames) {
+  for (const auto name : multiplier_names()) {
+    const auto m = make_multiplier(name);
+    EXPECT_EQ(m->name(), name);
+  }
+  EXPECT_THROW(make_multiplier("fft"), ContractViolation);
+  EXPECT_THROW(make_multiplier("karatsuba-x"), ContractViolation);
+}
+
+TEST(Strategy, PolyMulAdapter) {
+  SchoolbookMultiplier sb;
+  const auto fn = as_poly_mul(sb);
+  Xoshiro256StarStar rng(9);
+  const auto a = Poly::random(rng, 13);
+  const auto s = SecretPoly::random(rng, 4);
+  EXPECT_EQ(fn(a, s, 13), sb.multiply_secret(a, s, 13));
+}
+
+}  // namespace
+}  // namespace saber::mult

@@ -1,0 +1,146 @@
+// Property and unit tests for the ring layer: Z_{2^k} coefficient polys,
+// negacyclic structure, centered lifts, and secret embeddings.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mult/schoolbook.hpp"
+#include "ring/poly.hpp"
+
+namespace saber::ring {
+namespace {
+
+class RingProps : public ::testing::TestWithParam<unsigned> {
+ protected:
+  unsigned qbits() const { return GetParam(); }
+};
+
+TEST_P(RingProps, AddCommutesAndAssociates) {
+  Xoshiro256StarStar rng(11);
+  const auto a = Poly::random(rng, qbits());
+  const auto b = Poly::random(rng, qbits());
+  const auto c = Poly::random(rng, qbits());
+  EXPECT_EQ(add(a, b, qbits()), add(b, a, qbits()));
+  EXPECT_EQ(add(add(a, b, qbits()), c, qbits()), add(a, add(b, c, qbits()), qbits()));
+}
+
+TEST_P(RingProps, SubIsInverseOfAdd) {
+  Xoshiro256StarStar rng(12);
+  const auto a = Poly::random(rng, qbits());
+  const auto b = Poly::random(rng, qbits());
+  EXPECT_EQ(sub(add(a, b, qbits()), b, qbits()), a);
+  EXPECT_EQ(add(sub(a, b, qbits()), b, qbits()), a);
+}
+
+TEST_P(RingProps, ZeroIsIdentity) {
+  Xoshiro256StarStar rng(13);
+  const auto a = Poly::random(rng, qbits());
+  const Poly zero{};
+  EXPECT_EQ(add(a, zero, qbits()), a);
+  EXPECT_EQ(sub(a, zero, qbits()), a);
+}
+
+TEST_P(RingProps, CenteredLiftRoundTrips) {
+  Xoshiro256StarStar rng(14);
+  const auto a = Poly::random(rng, qbits());
+  for (std::size_t i = 0; i < kN; ++i) {
+    const i32 c = centered(a[i], qbits());
+    EXPECT_LT(c, i32{1} << (qbits() - 1));
+    EXPECT_GE(c, -(i32{1} << (qbits() - 1)));
+    EXPECT_EQ(low_bits(static_cast<u64>(static_cast<i64>(c)), qbits()),
+              low_bits(a[i], qbits()));
+  }
+}
+
+TEST_P(RingProps, MulByXPow) {
+  Xoshiro256StarStar rng(15);
+  const auto a = Poly::random(rng, qbits());
+  // x^0 is identity; x^N == -1; x^2N == identity.
+  EXPECT_EQ(mul_by_x_pow(a, 0, qbits()), a);
+  EXPECT_EQ(mul_by_x_pow(a, 2 * kN, qbits()), a);
+  const auto neg = mul_by_x_pow(a, kN, qbits());
+  EXPECT_EQ(add(a, neg, qbits()), Poly{});
+  // Composition: x^i then x^j equals x^(i+j).
+  EXPECT_EQ(mul_by_x_pow(mul_by_x_pow(a, 3, qbits()), 5, qbits()),
+            mul_by_x_pow(a, 8, qbits()));
+}
+
+TEST_P(RingProps, MulByXPowMatchesSchoolbookTimesMonomial) {
+  Xoshiro256StarStar rng(16);
+  const auto a = Poly::random(rng, qbits());
+  mult::SchoolbookMultiplier sb;
+  for (std::size_t k : {1u, 17u, 255u}) {
+    Poly xk{};
+    xk[k] = 1;
+    EXPECT_EQ(mul_by_x_pow(a, k, qbits()), sb.multiply(a, xk, qbits())) << "k=" << k;
+  }
+}
+
+TEST_P(RingProps, ShiftRoundTrip) {
+  Xoshiro256StarStar rng(17);
+  if (qbits() < 3) return;
+  const auto a = Poly::random(rng, qbits() - 2);
+  EXPECT_EQ(shift_right(shift_left(a, 2, qbits()), 2), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Moduli, RingProps, ::testing::Values(1u, 3u, 10u, 13u, 16u));
+
+TEST(Poly, ReduceMasksHighBits) {
+  Poly p;
+  p[0] = 0x1fff;
+  p[1] = 0x2000;
+  p[2] = 0xffff;
+  p.reduce(13);
+  EXPECT_EQ(p[0], 0x1fff);
+  EXPECT_EQ(p[1], 0);
+  EXPECT_EQ(p[2], 0x1fff);
+  EXPECT_TRUE(p.reduced(13));
+}
+
+TEST(Poly, ConstantFillsAll) {
+  const auto p = Poly::constant(4);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(p[i], 4);
+}
+
+TEST(SecretPoly, ToPolyEmbedsTwosComplement) {
+  SecretPoly s{};
+  s[0] = -4;
+  s[1] = 4;
+  s[2] = 0;
+  s[3] = -1;
+  const auto p = s.to_poly(13);
+  EXPECT_EQ(p[0], 8192 - 4);
+  EXPECT_EQ(p[1], 4);
+  EXPECT_EQ(p[2], 0);
+  EXPECT_EQ(p[3], 8191);
+}
+
+TEST(SecretPoly, FromPolyRoundTrips) {
+  Xoshiro256StarStar rng(18);
+  const auto s = SecretPoly::random(rng, 5);
+  EXPECT_EQ(SecretPoly::from_poly(s.to_poly(13), 13, 5), s);
+}
+
+TEST(SecretPoly, FromPolyRejectsLargeCoefficients) {
+  Poly p{};
+  p[7] = 100;  // way above the binomial bound
+  EXPECT_THROW(SecretPoly::from_poly(p, 13, 5), ContractViolation);
+}
+
+TEST(SecretPoly, MaxMagnitude) {
+  SecretPoly s{};
+  EXPECT_EQ(s.max_magnitude(), 0u);
+  s[10] = -3;
+  s[20] = 2;
+  EXPECT_EQ(s.max_magnitude(), 3u);
+}
+
+TEST(SecretPoly, RandomRespectsBound) {
+  Xoshiro256StarStar rng(19);
+  for (unsigned bound : {1u, 4u, 5u}) {
+    const auto s = SecretPoly::random(rng, bound);
+    EXPECT_LE(s.max_magnitude(), bound);
+  }
+}
+
+}  // namespace
+}  // namespace saber::ring

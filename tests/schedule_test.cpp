@@ -1,0 +1,92 @@
+// Schedule-regression tests: lock every architecture's cycle breakdown so a
+// change to any FSM shows up as an explicit diff against the modeled numbers
+// recorded in EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "multipliers/hw_multiplier.hpp"
+
+namespace saber::arch {
+namespace {
+
+hw::CycleStats stats_of(std::string_view name) {
+  Xoshiro256StarStar rng(7);
+  auto arch = make_architecture(name);
+  return arch->multiply(ring::Poly::random(rng, 13), ring::SecretPoly::random(rng, 4))
+      .cycles;
+}
+
+TEST(Schedule, SumIdentityHoldsEverywhere) {
+  for (const char* name : {"lw4", "lw8", "lw16", "hs1-256", "hs1-512", "hs2",
+                           "hs2-wide", "baseline-256", "baseline-512", "karatsuba-hw",
+                           "ntt-hw"}) {
+    const auto st = stats_of(name);
+    EXPECT_EQ(st.total, st.compute + st.preload + st.stall_public_load +
+                            st.stall_secret_load + st.stall_accumulator + st.readout +
+                            st.pipeline)
+        << name;
+  }
+}
+
+TEST(Schedule, FrozenLightweightBreakdown) {
+  // The derived §4.1 schedule, frozen (see EXPERIMENTS.md E1 for the
+  // paper-vs-measured discussion).
+  const auto st = stats_of("lw4");
+  EXPECT_EQ(st.compute, 16384u);
+  EXPECT_EQ(st.stall_public_load, 1600u);  // 50 loads x 2 cycles x 16 passes
+  EXPECT_EQ(st.stall_secret_load, 30u);    // 15 mid-run block fetches x 2
+  EXPECT_EQ(st.stall_accumulator, 960u);   // 60 five-word/wrap windows x 16
+  EXPECT_EQ(st.preload, 51u);              // prologue 3 + 16 passes x 3
+  EXPECT_EQ(st.readout, 32u);              // per-pass drain 2 x 16
+  EXPECT_EQ(st.total, 19057u);
+}
+
+TEST(Schedule, FrozenHighSpeedBreakdown) {
+  for (const char* name : {"hs1-256", "baseline-256"}) {
+    const auto st = stats_of(name);
+    EXPECT_EQ(st.compute, 256u) << name;
+    EXPECT_EQ(st.preload, 31u) << name;   // secret 17 + public chunk 14
+    EXPECT_EQ(st.stall_public_load, 1u) << name;
+    EXPECT_EQ(st.readout, 53u) << name;
+    EXPECT_EQ(st.total, 341u) << name;
+  }
+  for (const char* name : {"hs1-512", "baseline-512"}) {
+    EXPECT_EQ(stats_of(name).total, 213u) << name;
+  }
+}
+
+TEST(Schedule, FrozenDspBreakdown) {
+  const auto st = stats_of("hs2");
+  EXPECT_EQ(st.compute, 128u);
+  EXPECT_EQ(st.pipeline, 3u);
+  EXPECT_EQ(st.total, 216u);
+  EXPECT_EQ(stats_of("hs2-wide").total, 216u);
+}
+
+TEST(Schedule, MemoryAccessBudgets) {
+  // Access-count invariants tied to the §2.2 data layout: the high-speed
+  // designs read each operand word exactly once and write the 52-word result.
+  Xoshiro256StarStar rng(8);
+  auto arch = make_architecture("hs1-256");
+  const auto res =
+      arch->multiply(ring::Poly::random(rng, 13), ring::SecretPoly::random(rng, 4));
+  EXPECT_EQ(res.power.bram_reads, 52u + 16u);
+  EXPECT_EQ(res.power.bram_writes, 52u);
+
+  // LW re-reads the public polynomial once per pass and streams the
+  // accumulator continuously: far more traffic, the price of 541 LUTs.
+  auto lw = make_architecture("lw4");
+  const auto lres =
+      lw->multiply(ring::Poly::random(rng, 13), ring::SecretPoly::random(rng, 4));
+  EXPECT_EQ(lres.power.bram_reads - lres.power.bram_writes,
+            52u * 16u + 17u);  // public re-reads + secret fetches
+  EXPECT_GT(lres.power.bram_reads, 17000u);
+}
+
+TEST(Schedule, OverheadFractionsMatchPaperClaims) {
+  EXPECT_LT(stats_of("lw4").overhead_fraction(), 0.16);     // §4.1: "<16%"
+  EXPECT_NEAR(stats_of("hs1-512").overhead_fraction(), 0.39, 0.015);  // "39%"
+}
+
+}  // namespace
+}  // namespace saber::arch

@@ -1,0 +1,122 @@
+// Exhaustive validation of the generic ring templates at small dimensions:
+// for N = 4 and q = 2^2 the whole operand space is enumerable, so the
+// negacyclic fold, the centered lift and the ring axioms can be checked
+// against a brute-force reference over EVERY input, not a sample.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mult/multiplier.hpp"
+#include "ring/poly.hpp"
+
+namespace saber::ring {
+namespace {
+
+template <std::size_t N>
+PolyT<N> brute_force_negacyclic(const PolyT<N>& a, const PolyT<N>& b, unsigned qbits) {
+  // Direct definition: c[k] = sum_{i+j == k} a_i b_j - sum_{i+j == k+N} a_i b_j.
+  const u32 q = u32{1} << qbits;
+  PolyT<N> c;
+  for (std::size_t k = 0; k < N; ++k) {
+    i64 acc = 0;
+    for (std::size_t i = 0; i < N; ++i) {
+      for (std::size_t j = 0; j < N; ++j) {
+        if (i + j == k) acc += static_cast<i64>(a[i]) * b[j];
+        if (i + j == k + N) acc -= static_cast<i64>(a[i]) * b[j];
+      }
+    }
+    c[k] = static_cast<u16>(((acc % q) + q) % q);
+  }
+  return c;
+}
+
+template <std::size_t N>
+PolyT<N> fold_based(const PolyT<N>& a, const PolyT<N>& b, unsigned qbits) {
+  const auto av = mult::centered_lift(a, qbits);
+  const auto bv = mult::centered_lift(b, qbits);
+  std::vector<i64> conv(2 * N - 1, 0);
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = 0; j < N; ++j) conv[i + j] += av[i] * bv[j];
+  }
+  return mult::fold_negacyclic<N>(conv, qbits);
+}
+
+template <std::size_t N>
+PolyT<N> nth_poly(u32 index, unsigned qbits) {
+  PolyT<N> p;
+  for (std::size_t i = 0; i < N; ++i) {
+    p[i] = static_cast<u16>(index & mask64(qbits));
+    index >>= qbits;
+  }
+  return p;
+}
+
+TEST(SmallRing, ExhaustiveN4Q4) {
+  // 4 coefficients x 2 bits = 256 polynomials; all 65,536 ordered pairs.
+  constexpr std::size_t N = 4;
+  constexpr unsigned qbits = 2;
+  constexpr u32 count = 1u << (N * qbits);
+  for (u32 ia = 0; ia < count; ++ia) {
+    const auto a = nth_poly<N>(ia, qbits);
+    for (u32 ib = 0; ib < count; ++ib) {
+      const auto b = nth_poly<N>(ib, qbits);
+      ASSERT_EQ(fold_based<N>(a, b, qbits), brute_force_negacyclic<N>(a, b, qbits))
+          << "ia=" << ia << " ib=" << ib;
+    }
+  }
+}
+
+TEST(SmallRing, ExhaustiveCommutativityN2Q8) {
+  constexpr std::size_t N = 2;
+  constexpr unsigned qbits = 3;
+  constexpr u32 count = 1u << (N * qbits);
+  for (u32 ia = 0; ia < count; ++ia) {
+    const auto a = nth_poly<N>(ia, qbits);
+    for (u32 ib = 0; ib < count; ++ib) {
+      const auto b = nth_poly<N>(ib, qbits);
+      ASSERT_EQ(fold_based<N>(a, b, qbits), fold_based<N>(b, a, qbits));
+    }
+  }
+}
+
+TEST(SmallRing, NegacyclicWrapSign) {
+  // x * x^(N-1) == -1 at every small dimension.
+  constexpr unsigned qbits = 5;
+  auto check = [&]<std::size_t N>() {
+    PolyT<N> x{}, xn1{};
+    x[1] = 1;
+    xn1[N - 1] = 1;
+    const auto prod = fold_based<N>(x, xn1, qbits);
+    PolyT<N> minus_one{};
+    minus_one[0] = static_cast<u16>((1u << qbits) - 1);
+    EXPECT_EQ(prod, minus_one);
+  };
+  check.template operator()<2>();
+  check.template operator()<4>();
+  check.template operator()<8>();
+  check.template operator()<16>();
+}
+
+TEST(SmallRing, DistributivitySampledN8) {
+  constexpr std::size_t N = 8;
+  constexpr unsigned qbits = 4;
+  Xoshiro256StarStar rng(606);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto a = PolyT<N>::random(rng, qbits);
+    const auto b = PolyT<N>::random(rng, qbits);
+    const auto c = PolyT<N>::random(rng, qbits);
+    EXPECT_EQ(fold_based<N>(a, add(b, c, qbits), qbits),
+              add(fold_based<N>(a, b, qbits), fold_based<N>(a, c, qbits), qbits));
+  }
+}
+
+TEST(SmallRing, GenericTemplatesAtOtherDimensions) {
+  // The PolyT machinery (add/sub/shift/mul_by_x_pow) must behave at any N.
+  Xoshiro256StarStar rng(607);
+  const auto a = PolyT<32>::random(rng, 7);
+  EXPECT_EQ(sub(add(a, a, 7), a, 7), a);
+  EXPECT_EQ(mul_by_x_pow(a, 32, 7), sub(PolyT<32>{}, a, 7));  // x^N == -1
+  EXPECT_EQ(mul_by_x_pow(a, 64, 7), a);                       // x^2N == +1
+}
+
+}  // namespace
+}  // namespace saber::ring

@@ -1,0 +1,117 @@
+// Statistical validation of the centered-binomial sampler and the uniform
+// matrix expansion: chi-square goodness-of-fit against the exact binomial
+// pmf, and uniformity of gen_matrix coefficients. A bit-ordering or
+// popcount bug in the sampler passes simple range tests but skews these
+// distributions far beyond the thresholds used here.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "saber/gen.hpp"
+#include "saber/pke.hpp"
+#include "saber/sampler.hpp"
+
+namespace saber::kem {
+namespace {
+
+double binomial_coeff(int n, int k) {
+  double r = 1.0;
+  for (int i = 1; i <= k; ++i) r = r * (n - k + i) / i;
+  return r;
+}
+
+/// P[X = v] for X = HW(x) - HW(y), x,y uniform (mu/2)-bit strings: the
+/// difference of two Binomial(mu/2, 1/2) variables.
+double cbd_pmf(unsigned mu, int v) {
+  const int h = static_cast<int>(mu) / 2;
+  double p = 0.0;
+  for (int a = 0; a <= h; ++a) {
+    const int b = a - v;
+    if (b < 0 || b > h) continue;
+    p += binomial_coeff(h, a) * binomial_coeff(h, b);
+  }
+  return p / std::pow(2.0, mu);
+}
+
+class CbdChiSquare : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CbdChiSquare, MatchesExactBinomialPmf) {
+  const unsigned mu = GetParam();
+  const int bound = static_cast<int>(mu) / 2;
+  Xoshiro256StarStar rng(0xCBD);
+  std::array<u64, 11> counts{};  // values -5..5 -> indices 0..10
+  const int iters = 400;
+  std::vector<u8> buf(ring::kN * mu / 8);
+  for (int it = 0; it < iters; ++it) {
+    rng.fill(buf);
+    const auto s = cbd_sample(buf, mu);
+    for (std::size_t i = 0; i < ring::kN; ++i) {
+      counts[static_cast<std::size_t>(s[i] + 5)]++;
+    }
+  }
+  const double total = static_cast<double>(iters) * ring::kN;
+  double chi2 = 0.0;
+  int dof = 0;
+  for (int v = -bound; v <= bound; ++v) {
+    const double expect = total * cbd_pmf(mu, v);
+    const double got = static_cast<double>(counts[static_cast<std::size_t>(v + 5)]);
+    chi2 += (got - expect) * (got - expect) / expect;
+    ++dof;
+  }
+  --dof;
+  // 99.9th percentile of chi-square with <= 10 dof is < 30; a sampler bug
+  // produces chi2 in the thousands at this sample size.
+  EXPECT_LT(chi2, 35.0) << "mu=" << mu << " chi2=" << chi2 << " dof=" << dof;
+  // And values outside the bound must never occur.
+  for (int v = -5; v <= 5; ++v) {
+    if (v < -bound || v > bound) {
+      EXPECT_EQ(counts[static_cast<std::size_t>(v + 5)], 0u) << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMus, CbdChiSquare, ::testing::Values(6u, 8u, 10u));
+
+TEST(MatrixUniformity, CoefficientsFillTheRangeEvenly) {
+  // gen_matrix output is SHAKE output interpreted as 13-bit values: bucketed
+  // counts over [0, 8192) must be flat.
+  Seed seed{};
+  seed[0] = 0xEE;
+  const auto a = gen_matrix(seed, kSaber);
+  constexpr int kBuckets = 16;
+  std::array<u64, kBuckets> counts{};
+  u64 total = 0;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t k = 0; k < ring::kN; ++k) {
+        counts[a.at(r, c)[k] * kBuckets / 8192]++;
+        ++total;
+      }
+    }
+  }
+  const double expect = static_cast<double>(total) / kBuckets;
+  double chi2 = 0.0;
+  for (const auto c : counts) {
+    chi2 += (static_cast<double>(c) - expect) * (static_cast<double>(c) - expect) / expect;
+  }
+  EXPECT_LT(chi2, 45.0) << "chi2=" << chi2;  // 15 dof, 99.99th pct ~ 44.3
+}
+
+TEST(MatrixUniformity, MeanNearCenter) {
+  Seed seed{};
+  seed[1] = 0x77;
+  const auto a = gen_matrix(seed, kSaber);
+  double sum = 0;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t k = 0; k < ring::kN; ++k) sum += a.at(r, c)[k];
+    }
+  }
+  const double mean = sum / (9 * ring::kN);
+  EXPECT_NEAR(mean, 4095.5, 120.0);  // +-~2.4 sigma at this sample size
+}
+
+}  // namespace
+}  // namespace saber::kem

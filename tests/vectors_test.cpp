@@ -1,0 +1,73 @@
+// Golden-vector regression: the RTL-verification vectors (operand images,
+// cycle-by-cycle memory schedule, result image) are frozen by digest. Any
+// change to an architecture's schedule, the memory layout or the packing
+// formats shows up here as an explicit diff to investigate.
+#include <gtest/gtest.h>
+
+#include "analysis/vectors.hpp"
+
+namespace saber::analysis {
+namespace {
+
+struct Frozen {
+  const char* arch;
+  const char* digest;
+};
+
+constexpr u64 kSeed = 2021;
+constexpr Frozen kFrozen[] = {
+    {"lw4", "7e2143a99861f6b95cd73f9aa4b7f1603c6679881853d0803ef2debf389e7cff"},
+    {"hs1-256", "8167ae89c4cf892f1435edc0aeae49ad93a5b75d46985d41cf087854f702c51e"},
+    {"hs2", "dd9500238c8461f876a6a9c785699c807b9df076f4f23293bc4e9669d3433f14"},
+};
+
+class GoldenVectors : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GoldenVectors, DigestIsFrozen) {
+  const auto& f = kFrozen[GetParam()];
+  EXPECT_EQ(vectors_digest(f.arch, kSeed), f.digest) << f.arch;
+}
+
+TEST_P(GoldenVectors, FormatIsComplete) {
+  const auto& f = kFrozen[GetParam()];
+  const auto text = render_vectors(f.arch, kSeed);
+  EXPECT_NE(text.find("# architecture:"), std::string::npos);
+  EXPECT_NE(text.find("PUB "), std::string::npos);
+  EXPECT_NE(text.find("SEC "), std::string::npos);
+  EXPECT_NE(text.find("TRACE "), std::string::npos);
+  EXPECT_NE(text.find("RES "), std::string::npos);
+  // 52 public + 16 secret + 52 result hex words of 16 digits each.
+  std::size_t hex_chars = 0;
+  for (char ch : text) {
+    if ((ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f')) ++hex_chars;
+  }
+  EXPECT_GT(hex_chars, (52u + 16u + 52u) * 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, GoldenVectors,
+                         ::testing::Range<std::size_t>(0, std::size(kFrozen)),
+                         [](const auto& pinfo) {
+                           std::string n(kFrozen[pinfo.param].arch);
+                           for (auto& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(GoldenVectorsDetail, DifferentSeedsDifferentVectors) {
+  EXPECT_NE(vectors_digest("lw4", 1), vectors_digest("lw4", 2));
+}
+
+TEST(GoldenVectorsDetail, TraceLengthMatchesSchedule) {
+  // LW: every access appears (reads + writes counted in schedule_test).
+  const auto text = render_vectors("lw4", kSeed);
+  std::size_t traces = 0;
+  for (std::size_t pos = text.find("TRACE"); pos != std::string::npos;
+       pos = text.find("TRACE", pos + 1)) {
+    ++traces;
+  }
+  EXPECT_GT(traces, 30000u);  // ~35.5k accesses per LW multiplication
+}
+
+}  // namespace
+}  // namespace saber::analysis

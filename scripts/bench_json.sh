@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Run the software-performance benchmarks with google-benchmark's JSON
+# reporter and distill them into checked-in result files at the repo root:
+#   BENCH_throughput.json  - transform caching + batched KEM (bench_throughput)
+#   BENCH_sw_mult.json     - software multiplier comparison (bench_sw_mult)
+#
+# Usage: scripts/bench_json.sh [build-dir]   (default: build-release)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-release}"
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "error: $BUILD_DIR/bench not found; configure with:" >&2
+  echo "  cmake --preset release && cmake --build --preset release" >&2
+  exit 1
+fi
+
+distill() {
+  # $1 = raw google-benchmark JSON, $2 = output file.
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+
+raw = json.load(open(sys.argv[1]))
+out = {
+    "context": {
+        k: raw["context"].get(k)
+        for k in ("host_name", "num_cpus", "mhz_per_cpu", "library_version")
+        if k in raw["context"]
+    },
+    "benchmarks": [],
+}
+for b in raw["benchmarks"]:
+    if b.get("run_type") == "aggregate":
+        continue
+    entry = {
+        "name": b["name"],
+        "real_time_ns": round(b["real_time"], 1),
+        "cpu_time_ns": round(b["cpu_time"], 1),
+    }
+    if "items_per_second" in b:
+        entry["items_per_second"] = round(b["items_per_second"], 1)
+    if "pool_threads" in b:
+        entry["pool_threads"] = int(b["pool_threads"])
+    if "coeff_mults" in b:
+        entry["coeff_mults"] = round(b["coeff_mults"], 1)
+    out["benchmarks"].append(entry)
+
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+open(sys.argv[2], "a").write("\n")
+print(f"wrote {sys.argv[2]} ({len(out['benchmarks'])} benchmarks)")
+EOF
+}
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD_DIR/bench/bench_throughput" \
+  --benchmark_format=json --benchmark_out="$TMP/throughput.json" \
+  --benchmark_out_format=json >/dev/null
+distill "$TMP/throughput.json" BENCH_throughput.json
+
+"$BUILD_DIR/bench/bench_sw_mult" \
+  --benchmark_format=json --benchmark_out="$TMP/sw_mult.json" \
+  --benchmark_out_format=json >/dev/null
+distill "$TMP/sw_mult.json" BENCH_sw_mult.json

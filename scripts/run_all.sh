@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every experiment output of the reproduction.
 # Results land in test_output.txt / bench_output.txt at the repository root,
-# plus table1.csv for external plotting.
+# plus table1.csv for external plotting and BENCH_*.json timing summaries.
+# Benchmarks run from the optimized (-O3 -march=native) release preset so the
+# checked-in numbers reflect real performance.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+cmake --preset release
+cmake --build --preset release
 
-ctest --test-dir build 2>&1 | tee test_output.txt
+ctest --test-dir build-release 2>&1 | tee test_output.txt
 
 {
-  for b in build/bench/*; do
+  for b in build-release/bench/*; do
     echo "===================================================================="
     echo "== $b"
     echo "===================================================================="
@@ -20,5 +22,6 @@ ctest --test-dir build 2>&1 | tee test_output.txt
   done
 } 2>&1 | tee bench_output.txt
 
-./build/bench/bench_table1 --csv > table1.csv
-echo "Wrote test_output.txt, bench_output.txt, table1.csv"
+./build-release/bench/bench_table1 --csv > table1.csv
+scripts/bench_json.sh build-release
+echo "Wrote test_output.txt, bench_output.txt, table1.csv, BENCH_*.json"

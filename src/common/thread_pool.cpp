@@ -1,0 +1,72 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace saber {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  // The calling thread acts as worker 0; spawn the rest.
+  workers_.reserve(threads - 1);
+  for (unsigned i = 1; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::drain(unsigned worker_id) {
+  // The acquire on the counter RMW pairs with run()'s release store, so a
+  // worker that obtains an index of the current job also sees job_/job_size_
+  // and the remaining_ preset. Once the counter passes job_size_ it stays
+  // there until the next run() resets it, so stale workers can never
+  // dereference a finished job.
+  for (;;) {
+    const std::size_t i = next_index_.fetch_add(1, std::memory_order_acq_rel);
+    if (i >= job_size_) break;
+    (*job_)(worker_id, i);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::worker_loop(unsigned id) {
+  u64 seen = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+    }
+    drain(id);
+  }
+}
+
+void ThreadPool::run(std::size_t n,
+                     const std::function<void(unsigned, std::size_t)>& fn) {
+  if (n == 0) return;
+  {
+    std::lock_guard lock(mutex_);
+    // Publish the job before opening the index counter (release; see drain).
+    job_ = &fn;
+    job_size_ = n;
+    remaining_.store(n, std::memory_order_relaxed);
+    next_index_.store(0, std::memory_order_release);
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  drain(/*worker_id=*/0);
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [&] { return remaining_.load(std::memory_order_acquire) == 0; });
+}
+
+}  // namespace saber

@@ -1,0 +1,53 @@
+// Minimal fixed-size thread pool for data-parallel index loops.
+//
+// Workers pull indices from a shared atomic counter, so scheduling is
+// dynamic but the mapping index -> output slot is fixed: results are
+// bit-identical for any thread count as long as the per-index work is a pure
+// function of the index (the property the batch KEM pipeline relies on).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace saber {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` resolves to std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Run fn(worker, index) for every index in [0, n), spreading indices over
+  /// size() workers (the calling thread participates as worker 0). Blocks
+  /// until all indices are done. `fn` must not call run() reentrantly.
+  void run(std::size_t n, const std::function<void(unsigned worker, std::size_t index)>& fn);
+
+ private:
+  void worker_loop(unsigned id);
+  void drain(unsigned worker_id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned, std::size_t)>* job_ = nullptr;
+  std::size_t job_size_ = 0;
+  u64 generation_ = 0;
+  std::atomic<std::size_t> next_index_{0};
+  std::atomic<std::size_t> remaining_{0};
+  bool stopping_ = false;
+};
+
+}  // namespace saber

@@ -1,0 +1,85 @@
+#include "mult/batch.hpp"
+
+#include "common/check.hpp"
+
+namespace saber::mult {
+
+namespace {
+
+std::vector<Transformed> prepare_secrets(const ring::SecretVec& s,
+                                         const PolyMultiplier& m, unsigned qbits) {
+  std::vector<Transformed> ts;
+  ts.reserve(s.size());
+  for (const auto& sj : s) ts.push_back(m.prepare_secret(sj, qbits));
+  return ts;
+}
+
+}  // namespace
+
+PreparedMatrix::PreparedMatrix(const ring::PolyMatrix& a, const PolyMultiplier& m,
+                               unsigned qbits)
+    : rows_(a.rows()), cols_(a.cols()), qbits_(qbits) {
+  elems_.reserve(rows_ * cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      elems_.push_back(m.prepare_public(a.at(r, c), qbits));
+    }
+  }
+}
+
+PreparedVector::PreparedVector(const ring::PolyVec& v, const PolyMultiplier& m,
+                               unsigned qbits)
+    : qbits_(qbits) {
+  elems_.reserve(v.size());
+  for (const auto& p : v) elems_.push_back(m.prepare_public(p, qbits));
+}
+
+ring::PolyVec matrix_vector_mul(const PreparedMatrix& a, const ring::SecretVec& s,
+                                const PolyMultiplier& m, bool transpose) {
+  SABER_REQUIRE(a.rows() == a.cols(), "matrix must be square");
+  SABER_REQUIRE(a.cols() == s.size(), "dimension mismatch");
+  SABER_REQUIRE(s.size() <= PolyMultiplier::kMaxAccumulatedTerms,
+                "batch accumulation exceeds exactness headroom");
+  const std::size_t l = a.rows();
+  const unsigned qbits = a.qbits();
+
+  // Each secret transform is shared by all l rows (the per-product loop
+  // recomputes it l times); each row runs one inverse transform.
+  const auto ts = prepare_secrets(s, m, qbits);
+
+  ring::PolyVec r(l);
+  for (std::size_t i = 0; i < l; ++i) {
+    auto acc = m.make_accumulator();
+    for (std::size_t j = 0; j < l; ++j) {
+      const Transformed& aij = transpose ? a.at(j, i) : a.at(i, j);
+      m.pointwise_accumulate(acc, aij, ts[j]);
+    }
+    r[i] = m.finalize(acc, qbits);
+  }
+  return r;
+}
+
+ring::PolyVec matrix_vector_mul(const ring::PolyMatrix& a, const ring::SecretVec& s,
+                                const PolyMultiplier& m, unsigned qbits,
+                                bool transpose) {
+  return matrix_vector_mul(PreparedMatrix(a, m, qbits), s, m, transpose);
+}
+
+ring::Poly inner_product(const PreparedVector& b, const ring::SecretVec& s,
+                         const PolyMultiplier& m) {
+  SABER_REQUIRE(b.size() == s.size(), "dimension mismatch");
+  SABER_REQUIRE(s.size() <= PolyMultiplier::kMaxAccumulatedTerms,
+                "batch accumulation exceeds exactness headroom");
+  auto acc = m.make_accumulator();
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    m.pointwise_accumulate(acc, b.at(i), m.prepare_secret(s[i], b.qbits()));
+  }
+  return m.finalize(acc, b.qbits());
+}
+
+ring::Poly inner_product(const ring::PolyVec& b, const ring::SecretVec& s,
+                         const PolyMultiplier& m, unsigned qbits) {
+  return inner_product(PreparedVector(b, m, qbits), s, m);
+}
+
+}  // namespace saber::mult

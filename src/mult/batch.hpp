@@ -1,0 +1,75 @@
+// Transform-cached (batched) matrix-vector arithmetic on top of the
+// PolyMultiplier split-transform API.
+//
+// Saber's hot path is the l x l negacyclic matrix-vector product. Computed
+// one `multiply` at a time it forward-transforms every operand per product
+// and inverse-transforms every product; the helpers here transform each
+// a_ij and each s_j exactly once, accumulate rows in the transform domain,
+// and inverse-transform once per row — the software analogue of the paper's
+// HS-I trick of computing shared secret multiples once instead of 256 times.
+//
+// PreparedMatrix / PreparedVector additionally cache the public-operand
+// transforms across calls, which lets a server amortize them (and the SHAKE
+// expansion of A) over a whole batch of encapsulations against one key.
+#pragma once
+
+#include "mult/multiplier.hpp"
+#include "ring/polyvec.hpp"
+
+namespace saber::mult {
+
+/// Public matrix with every element pre-transformed by one multiplier
+/// strategy. Valid for consumption by any multiplier instance of the same
+/// configuration (same `name()`); the transform layout is per-algorithm, not
+/// per-instance.
+class PreparedMatrix {
+ public:
+  PreparedMatrix(const ring::PolyMatrix& a, const PolyMultiplier& m, unsigned qbits);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  unsigned qbits() const { return qbits_; }
+  const Transformed& at(std::size_t r, std::size_t c) const {
+    return elems_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  unsigned qbits_;
+  std::vector<Transformed> elems_;
+};
+
+/// Public vector (e.g. the key vector b) with pre-transformed elements.
+class PreparedVector {
+ public:
+  PreparedVector(const ring::PolyVec& v, const PolyMultiplier& m, unsigned qbits);
+
+  std::size_t size() const { return elems_.size(); }
+  unsigned qbits() const { return qbits_; }
+  const Transformed& at(std::size_t i) const { return elems_[i]; }
+
+ private:
+  unsigned qbits_;
+  std::vector<Transformed> elems_;
+};
+
+/// r = A s (or A^T s when `transpose`), reduced mod 2^qbits, with each
+/// operand transformed once and one inverse transform per row. Bit-identical
+/// to ring::matrix_vector_mul over the same strategy.
+ring::PolyVec matrix_vector_mul(const ring::PolyMatrix& a, const ring::SecretVec& s,
+                                const PolyMultiplier& m, unsigned qbits,
+                                bool transpose);
+
+/// As above, with the public matrix transforms already cached.
+ring::PolyVec matrix_vector_mul(const PreparedMatrix& a, const ring::SecretVec& s,
+                                const PolyMultiplier& m, bool transpose);
+
+/// <b, s> with each operand transformed once and a single inverse transform.
+ring::Poly inner_product(const ring::PolyVec& b, const ring::SecretVec& s,
+                         const PolyMultiplier& m, unsigned qbits);
+
+/// As above, with the public vector transforms already cached.
+ring::Poly inner_product(const PreparedVector& b, const ring::SecretVec& s,
+                         const PolyMultiplier& m);
+
+}  // namespace saber::mult

@@ -71,4 +71,11 @@ ring::Poly KaratsubaMultiplier::multiply(const ring::Poly& a, const ring::Poly& 
   return fold_negacyclic<ring::kN>(conv, qbits);
 }
 
+void KaratsubaMultiplier::conv_accumulate(std::span<const i64> a, std::span<const i64> s,
+                                          std::span<i64> acc) const {
+  // karatsuba_rec accumulates into a zeroed buffer, so it can add straight
+  // into the batch accumulator with no scratch product buffer.
+  karatsuba_rec(a, s, acc, levels_, ops_);
+}
+
 }  // namespace saber::mult

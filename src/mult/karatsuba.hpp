@@ -21,6 +21,12 @@ class KaratsubaMultiplier final : public PolyMultiplier {
   ring::Poly multiply(const ring::Poly& a, const ring::Poly& b,
                       unsigned qbits) const override;
 
+ protected:
+  /// Split-transform hook: Karatsuba sub-multiplication into a scratch
+  /// buffer, then flat i64 accumulation (keeps the batched path subquadratic).
+  void conv_accumulate(std::span<const i64> a, std::span<const i64> s,
+                       std::span<i64> acc) const override;
+
  private:
   unsigned levels_;
   std::string name_;

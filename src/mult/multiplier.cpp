@@ -1,9 +1,52 @@
 #include "mult/multiplier.hpp"
 
+#include "common/check.hpp"
+
 namespace saber::mult {
 
-// The interface is header-only apart from the vtable anchor below; keeping
-// the key function here gives every algorithm a single shared vtable TU.
-// (No out-of-line members are currently needed.)
+// Default split-transform path, shared by every convolution algorithm: the
+// "transform" is the centered coefficient lift, the accumulator is the raw
+// signed linear convolution of length 2N-1, and finalize is the negacyclic
+// fold. This already amortizes the per-term Poly copies, lifts and masking of
+// the naive per-product loop; Toom-Cook and NTT override the whole API to
+// cache their genuinely expensive transforms as well.
+
+Transformed PolyMultiplier::prepare_public(const ring::Poly& a, unsigned qbits) const {
+  return centered_lift(a, qbits);
+}
+
+Transformed PolyMultiplier::prepare_secret(const ring::SecretPoly& s,
+                                           unsigned qbits) const {
+  (void)qbits;  // small signed secrets embed into Z directly
+  Transformed v(ring::kN);
+  for (std::size_t i = 0; i < ring::kN; ++i) v[i] = s[i];
+  return v;
+}
+
+Transformed PolyMultiplier::make_accumulator() const {
+  return Transformed(2 * ring::kN - 1, 0);
+}
+
+void PolyMultiplier::pointwise_accumulate(Transformed& acc, const Transformed& a,
+                                          const Transformed& s) const {
+  SABER_REQUIRE(acc.size() == a.size() + s.size() - 1,
+                "accumulator/operand length mismatch");
+  conv_accumulate(a, s, acc);
+}
+
+ring::Poly PolyMultiplier::finalize(const Transformed& acc, unsigned qbits) const {
+  return fold_negacyclic<ring::kN>(std::span<const i64>(acc), qbits);
+}
+
+void PolyMultiplier::conv_accumulate(std::span<const i64> a, std::span<const i64> s,
+                                     std::span<i64> acc) const {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < s.size(); ++j) {
+      acc[i + j] += a[i] * s[j];
+    }
+  }
+  ops_.coeff_mults += a.size() * s.size();
+  ops_.coeff_adds += a.size() * s.size();
+}
 
 }  // namespace saber::mult

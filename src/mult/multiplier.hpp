@@ -27,6 +27,13 @@ struct OpCounts {
   }
 };
 
+/// Transform-domain image of one operand (or one accumulator) under a
+/// particular algorithm's split-transform API. The layout is private to the
+/// algorithm that produced it: a centered-lift coefficient vector for the
+/// convolution algorithms, per-point limb evaluations for Toom-Cook, mod-p'
+/// NTT spectra for the NTT backend. Values always fit i64.
+using Transformed = std::vector<i64>;
+
 class PolyMultiplier {
  public:
   virtual ~PolyMultiplier() = default;
@@ -45,11 +52,59 @@ class PolyMultiplier {
     return multiply(a, s.to_poly(qbits), qbits);
   }
 
+  // --- split-transform API -------------------------------------------------
+  //
+  // Saber's matrix-vector product reuses each secret s_j in l products and
+  // sums l products per row; computing `multiply` per term therefore repeats
+  // the operand transform (centered lift / Toom evaluation / forward NTT) and
+  // the inverse transform l times per row. The split API transforms each
+  // operand exactly once, accumulates in the transform domain, and inverts
+  // once per row:
+  //
+  //   auto acc = m.make_accumulator();
+  //   m.pointwise_accumulate(acc, m.prepare_public(a, q), m.prepare_secret(s, q));
+  //   ... more terms ...
+  //   row = m.finalize(acc, q);
+  //
+  // Exactness requires the accumulated integer magnitudes to stay inside the
+  // backend's headroom; Saber's l <= 4 with |s| <= mu/2 is far inside it for
+  // every backend (see docs/modeling.md). Accumulating more than
+  // kMaxAccumulatedTerms products is rejected by the batch helpers.
+
+  /// Transform a public (full-width) operand once for reuse across products.
+  virtual Transformed prepare_public(const ring::Poly& a, unsigned qbits) const;
+
+  /// Transform a small signed secret once for reuse across products.
+  virtual Transformed prepare_secret(const ring::SecretPoly& s, unsigned qbits) const;
+
+  /// Fresh zero accumulator in this algorithm's transform domain.
+  virtual Transformed make_accumulator() const;
+
+  /// acc += a * s in the transform domain (no inverse transform, no modular
+  /// masking; exact integer / residue accumulation).
+  virtual void pointwise_accumulate(Transformed& acc, const Transformed& a,
+                                    const Transformed& s) const;
+
+  /// Inverse-transform the accumulator and reduce mod 2^qbits.
+  virtual ring::Poly finalize(const Transformed& acc, unsigned qbits) const;
+
+  /// Safe bound on the number of products one accumulator may absorb (set by
+  /// the NTT backend's lift headroom; see batch.cpp). Saber needs l <= 4.
+  static constexpr std::size_t kMaxAccumulatedTerms = 64;
+
   /// Operations accumulated since construction / last reset.
   OpCounts ops() const { return ops_; }
   void reset_ops() { ops_ = {}; }
 
  protected:
+  /// Hook for the default (convolution-domain) split-transform path:
+  /// accumulate the signed linear convolution a * s into `acc`
+  /// (acc.size() == a.size() + s.size() - 1). Schoolbook by default;
+  /// Karatsuba overrides it. Algorithms with a genuine transform domain
+  /// (Toom-Cook, NTT) override the five public methods instead.
+  virtual void conv_accumulate(std::span<const i64> a, std::span<const i64> s,
+                               std::span<i64> acc) const;
+
   mutable OpCounts ops_{};
 };
 

@@ -69,6 +69,61 @@ void NttMultiplier::inverse(std::array<u64, kN>& v) const {
   ops_.coeff_adds += kN * 8;
 }
 
+namespace {
+
+// Lift a centered i64 value into [0, p).
+u64 to_residue(i64 c, u64 p) {
+  return c >= 0 ? static_cast<u64>(c) : p - static_cast<u64>(-c);
+}
+
+}  // namespace
+
+Transformed NttMultiplier::prepare_public(const ring::Poly& a, unsigned qbits) const {
+  std::array<u64, kN> v{};
+  for (std::size_t i = 0; i < kN; ++i) {
+    v[i] = to_residue(ring::centered(a[i], qbits), kPrime);
+  }
+  forward(v);
+  return Transformed(v.begin(), v.end());
+}
+
+Transformed NttMultiplier::prepare_secret(const ring::SecretPoly& s,
+                                          unsigned qbits) const {
+  (void)qbits;  // small signed secrets embed directly; no centering needed
+  std::array<u64, kN> v{};
+  for (std::size_t i = 0; i < kN; ++i) v[i] = to_residue(s[i], kPrime);
+  forward(v);
+  return Transformed(v.begin(), v.end());
+}
+
+Transformed NttMultiplier::make_accumulator() const { return Transformed(kN, 0); }
+
+void NttMultiplier::pointwise_accumulate(Transformed& acc, const Transformed& a,
+                                         const Transformed& s) const {
+  SABER_REQUIRE(acc.size() == kN && a.size() == kN && s.size() == kN,
+                "operand not in the NTT transform domain");
+  for (std::size_t i = 0; i < kN; ++i) {
+    const u64 prod = mulmod(static_cast<u64>(a[i]), static_cast<u64>(s[i]), kPrime);
+    acc[i] = static_cast<i64>(addmod(static_cast<u64>(acc[i]), prod, kPrime));
+  }
+  ops_.coeff_mults += kN;
+  ops_.coeff_adds += kN;
+}
+
+ring::Poly NttMultiplier::finalize(const Transformed& acc, unsigned qbits) const {
+  SABER_REQUIRE(acc.size() == kN, "accumulator not in the NTT transform domain");
+  std::array<u64, kN> v{};
+  for (std::size_t i = 0; i < kN; ++i) v[i] = static_cast<u64>(acc[i]);
+  inverse(v);
+  ring::Poly r;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const i64 c = v[i] > kPrime / 2 ? static_cast<i64>(v[i]) - static_cast<i64>(kPrime)
+                                    : static_cast<i64>(v[i]);
+    r[i] = static_cast<u16>(to_twos_complement(c, qbits));
+  }
+  return r;
+}
+
 ring::Poly NttMultiplier::multiply(const ring::Poly& a, const ring::Poly& b,
                                    unsigned qbits) const {
   constexpr u64 p = kPrime;

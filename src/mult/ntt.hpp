@@ -28,6 +28,18 @@ class NttMultiplier final : public PolyMultiplier {
   ring::Poly multiply(const ring::Poly& a, const ring::Poly& b,
                       unsigned qbits) const override;
 
+  // Split-transform API: the cached transform is the forward NTT spectrum
+  // over p'; accumulation is pointwise mod-p' multiply-add, and finalize is
+  // the single inverse NTT plus the exact centered lift. Exactness of the
+  // lift bounds the batch size: the accumulated integer coefficients must
+  // stay below p'/2 = 2^40 in magnitude (see kMaxAccumulatedTerms).
+  Transformed prepare_public(const ring::Poly& a, unsigned qbits) const override;
+  Transformed prepare_secret(const ring::SecretPoly& s, unsigned qbits) const override;
+  Transformed make_accumulator() const override;
+  void pointwise_accumulate(Transformed& acc, const Transformed& a,
+                            const Transformed& s) const override;
+  ring::Poly finalize(const Transformed& acc, unsigned qbits) const override;
+
   /// Forward negacyclic NTT (psi-twisted, bit-reversed output) in place.
   void forward(std::array<u64, kN>& v) const;
 

@@ -108,6 +108,32 @@ ToomCookMultiplier::ToomCookMultiplier(unsigned parts)
   }
 }
 
+std::size_t ToomCookMultiplier::padded_len() const {
+  return ceil_div<std::size_t>(ring::kN, parts_) * parts_;
+}
+
+std::size_t ToomCookMultiplier::part_len() const { return padded_len() / parts_; }
+
+Transformed ToomCookMultiplier::evaluate(std::span<const i64> p) const {
+  const std::size_t part = p.size() / parts_;
+  SABER_REQUIRE(p.size() % parts_ == 0, "operand length not divisible by order");
+  Transformed evals(static_cast<std::size_t>(points_) * part, 0);
+  for (std::size_t k = 0; k < part; ++k) {
+    std::vector<i64> limbs(parts_);
+    for (unsigned l = 0; l < parts_; ++l) limbs[l] = p[l * part + k];
+    for (std::size_t i = 0; i < eval_points_.size(); ++i) {
+      const i64 x = eval_points_[i];
+      i64 acc = limbs[parts_ - 1];
+      for (unsigned l = parts_ - 1; l > 0; --l) acc = acc * x + limbs[l - 1];
+      evals[i * part + k] = acc;
+    }
+    evals[static_cast<std::size_t>(points_ - 1) * part + k] = limbs[parts_ - 1];  // infinity
+  }
+  ops_.coeff_mults += (parts_ - 1) * eval_points_.size() * part;
+  ops_.coeff_adds += (parts_ - 1) * eval_points_.size() * part;
+  return evals;
+}
+
 void ToomCookMultiplier::conv(std::span<const i64> a, std::span<const i64> b,
                               std::span<i64> out) const {
   const std::size_t n = a.size();
@@ -117,32 +143,17 @@ void ToomCookMultiplier::conv(std::span<const i64> a, std::span<const i64> b,
   const std::size_t part = n / parts_;
 
   // Evaluate the `parts_` limbs of each operand at every point (Horner).
-  auto evaluate = [&](std::span<const i64> p, std::vector<std::vector<i64>>& evals) {
-    evals.assign(points_, std::vector<i64>(part, 0));
-    for (std::size_t k = 0; k < part; ++k) {
-      std::vector<i64> limbs(parts_);
-      for (unsigned l = 0; l < parts_; ++l) limbs[l] = p[l * part + k];
-      for (std::size_t i = 0; i < eval_points_.size(); ++i) {
-        const i64 x = eval_points_[i];
-        i64 acc = limbs[parts_ - 1];
-        for (unsigned l = parts_ - 1; l > 0; --l) acc = acc * x + limbs[l - 1];
-        evals[i][k] = acc;
-      }
-      evals[points_ - 1][k] = limbs[parts_ - 1];  // infinity
-    }
-    ops_.coeff_mults += (parts_ - 1) * eval_points_.size() * part;
-    ops_.coeff_adds += (parts_ - 1) * eval_points_.size() * part;
-  };
-  std::vector<std::vector<i64>> ea, eb;
-  evaluate(a, ea);
-  evaluate(b, eb);
+  const auto ea = evaluate(a);
+  const auto eb = evaluate(b);
 
   // Pairwise products at each point; Karatsuba on the sub-multiplications,
   // as in the layered software multipliers [6].
   std::vector<std::vector<i64>> prod(points_);
   for (unsigned i = 0; i < points_; ++i) {
     prod[i].assign(2 * part - 1, 0);
-    karatsuba_conv(ea[i], eb[i], prod[i], /*levels=*/32, ops_);
+    karatsuba_conv(std::span<const i64>(ea).subspan(i * part, part),
+                   std::span<const i64>(eb).subspan(i * part, part), prod[i],
+                   /*levels=*/32, ops_);
   }
 
   // Interpolate the limb products W_0..W_{2k-2} and recombine at x^part.
@@ -157,6 +168,71 @@ void ToomCookMultiplier::conv(std::span<const i64> a, std::span<const i64> b,
   }
   ops_.coeff_mults += static_cast<u64>(points_) * points_ * (2 * part - 1);
   ops_.coeff_adds += static_cast<u64>(points_) * points_ * (2 * part - 1);
+}
+
+Transformed ToomCookMultiplier::prepare_public(const ring::Poly& a,
+                                               unsigned qbits) const {
+  auto av = centered_lift(a, qbits);
+  av.resize(padded_len(), 0);
+  return evaluate(av);
+}
+
+Transformed ToomCookMultiplier::prepare_secret(const ring::SecretPoly& s,
+                                               unsigned qbits) const {
+  (void)qbits;
+  std::vector<i64> sv(padded_len(), 0);
+  for (std::size_t i = 0; i < ring::kN; ++i) sv[i] = s[i];
+  return evaluate(sv);
+}
+
+Transformed ToomCookMultiplier::make_accumulator() const {
+  return Transformed(static_cast<std::size_t>(points_) * (2 * part_len() - 1), 0);
+}
+
+void ToomCookMultiplier::pointwise_accumulate(Transformed& acc, const Transformed& a,
+                                              const Transformed& s) const {
+  const std::size_t part = part_len();
+  SABER_REQUIRE(a.size() == static_cast<std::size_t>(points_) * part &&
+                    s.size() == a.size(),
+                "operand not in this Toom-Cook transform domain");
+  SABER_REQUIRE(acc.size() == static_cast<std::size_t>(points_) * (2 * part - 1),
+                "accumulator not in this Toom-Cook transform domain");
+  std::vector<i64> prod(2 * part - 1);
+  for (unsigned i = 0; i < points_; ++i) {
+    karatsuba_conv(std::span<const i64>(a).subspan(i * part, part),
+                   std::span<const i64>(s).subspan(i * part, part), prod,
+                   /*levels=*/32, ops_);
+    i64* seg = acc.data() + static_cast<std::size_t>(i) * (2 * part - 1);
+    for (std::size_t k = 0; k < prod.size(); ++k) seg[k] += prod[k];
+  }
+  ops_.coeff_adds += static_cast<u64>(points_) * (2 * part - 1);
+}
+
+ring::Poly ToomCookMultiplier::finalize(const Transformed& acc, unsigned qbits) const {
+  const std::size_t part = part_len();
+  const std::size_t padded = padded_len();
+  SABER_REQUIRE(acc.size() == static_cast<std::size_t>(points_) * (2 * part - 1),
+                "accumulator not in this Toom-Cook transform domain");
+  // Interpolation is linear, so interpolating the accumulated point products
+  // recovers the accumulated convolution with the same exact divisions.
+  std::vector<i64> out(2 * padded - 1, 0);
+  for (unsigned j = 0; j < points_; ++j) {
+    for (std::size_t k = 0; k < 2 * part - 1; ++k) {
+      i64 v = 0;
+      for (unsigned i = 0; i < points_; ++i) {
+        v += interp_num_[j][i] * acc[static_cast<std::size_t>(i) * (2 * part - 1) + k];
+      }
+      SABER_ENSURE(v % interp_den_[j] == 0, "Toom-Cook interpolation not exact");
+      out[static_cast<std::size_t>(j) * part + k] += v / interp_den_[j];
+    }
+  }
+  ops_.coeff_mults += static_cast<u64>(points_) * points_ * (2 * part - 1);
+  ops_.coeff_adds += static_cast<u64>(points_) * points_ * (2 * part - 1);
+  for (std::size_t i = 2 * ring::kN - 1; i < out.size(); ++i) {
+    SABER_ENSURE(out[i] == 0, "padded convolution tail must vanish");
+  }
+  return fold_negacyclic<ring::kN>(
+      std::span<const i64>(out.data(), 2 * ring::kN - 1), qbits);
 }
 
 ring::Poly ToomCookMultiplier::multiply(const ring::Poly& a, const ring::Poly& b,

@@ -32,7 +32,25 @@ class ToomCookMultiplier : public PolyMultiplier {
   /// Signed integer linear convolution; length divisible by `parts`.
   void conv(std::span<const i64> a, std::span<const i64> b, std::span<i64> out) const;
 
+  // Split-transform API: the cached transform is the per-point limb
+  // evaluation (the E step of E-M-I); pointwise products and accumulation
+  // happen point-wise, and one interpolation per accumulator replaces one
+  // per product. Linearity of interpolation keeps the exact-division
+  // property for sums of products.
+  Transformed prepare_public(const ring::Poly& a, unsigned qbits) const override;
+  Transformed prepare_secret(const ring::SecretPoly& s, unsigned qbits) const override;
+  Transformed make_accumulator() const override;
+  void pointwise_accumulate(Transformed& acc, const Transformed& a,
+                            const Transformed& s) const override;
+  ring::Poly finalize(const Transformed& acc, unsigned qbits) const override;
+
  private:
+  std::size_t padded_len() const;
+  std::size_t part_len() const;
+  /// Evaluate the `parts_` limbs of p (length padded_len()) at every point;
+  /// returns the flattened points x part matrix.
+  Transformed evaluate(std::span<const i64> p) const;
+
   unsigned parts_;
   unsigned points_;
   std::string name_;

@@ -88,7 +88,7 @@ MultiplierResult KaratsubaHwMultiplier::multiply(const ring::Poly& a,
   auto out = mult::fold_negacyclic<ring::kN>(conv, kQ);
   if (accumulate != nullptr) {
     SABER_REQUIRE(accumulate->reduced(kQ), "accumulator must be reduced mod q");
-    out = ring::add(out, *accumulate, kQ);
+    ring::add_inplace(out, *accumulate, kQ);
   }
 
   // Schedule: pre-add pyramid, engine batches, recombination tree.

@@ -63,7 +63,7 @@ MultiplierResult NttHwMultiplier::multiply(const ring::Poly& a,
   auto out = ntt_.multiply(a, s.to_poly(kQ), kQ);
   if (accumulate != nullptr) {
     SABER_REQUIRE(accumulate->reduced(kQ), "accumulator must be reduced mod q");
-    out = ring::add(out, *accumulate, kQ);
+    ring::add_inplace(out, *accumulate, kQ);
   }
 
   // Schedule: 2 forward NTTs, pointwise, inverse NTT, pipeline drains.

@@ -66,6 +66,37 @@ PolyT<N> add(const PolyT<N>& a, const PolyT<N>& b, unsigned qbits) {
   return r;
 }
 
+/// In-place coefficient-wise sum: a += b modulo 2^qbits. Returns `a`.
+template <std::size_t N>
+PolyT<N>& add_inplace(PolyT<N>& a, const PolyT<N>& b, unsigned qbits) {
+  for (std::size_t i = 0; i < N; ++i) {
+    a[i] = static_cast<u16>(low_bits(static_cast<u32>(a[i]) + b[i], qbits));
+  }
+  return a;
+}
+
+/// In-place coefficient-wise difference: a -= b modulo 2^qbits. Returns `a`.
+template <std::size_t N>
+PolyT<N>& sub_inplace(PolyT<N>& a, const PolyT<N>& b, unsigned qbits) {
+  for (std::size_t i = 0; i < N; ++i) {
+    a[i] = static_cast<u16>(
+        low_bits(static_cast<u32>(a[i]) + (u32{1} << qbits) - b[i], qbits));
+  }
+  return a;
+}
+
+/// Lazy accumulation: a += b with wrapping u16 arithmetic and NO masking.
+/// Because every Saber modulus divides 2^16, wrapping mod 2^16 is exact mod
+/// 2^qbits; callers mask once at the end via reduce(qbits) instead of paying
+/// a reduction per accumulated term.
+template <std::size_t N>
+PolyT<N>& accumulate(PolyT<N>& a, const PolyT<N>& b) {
+  for (std::size_t i = 0; i < N; ++i) {
+    a[i] = static_cast<u16>(a[i] + b[i]);
+  }
+  return a;
+}
+
 /// Coefficient-wise difference modulo 2^qbits.
 template <std::size_t N>
 PolyT<N> sub(const PolyT<N>& a, const PolyT<N>& b, unsigned qbits) {

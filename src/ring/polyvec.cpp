@@ -11,12 +11,14 @@ PolyVec matrix_vector_mul(const PolyMatrix& a, const SecretVec& s, const PolyMul
   const std::size_t l = a.rows();
   PolyVec r(l);
   for (std::size_t i = 0; i < l; ++i) {
+    // Lazy reduction: wrapping u16 accumulation is exact mod 2^16 (and hence
+    // mod any 2^qbits dividing it); mask once per row instead of per term.
     Poly acc{};
     for (std::size_t j = 0; j < l; ++j) {
       const Poly& aij = transpose ? a.at(j, i) : a.at(i, j);
-      acc = add(acc, mul(aij, s[j], qbits), qbits);
+      accumulate(acc, mul(aij, s[j], qbits));
     }
-    r[i] = acc;
+    r[i] = acc.reduce(qbits);
   }
   return r;
 }
@@ -26,9 +28,9 @@ Poly inner_product(const PolyVec& b, const SecretVec& s, const PolyMulFn& mul,
   SABER_REQUIRE(b.size() == s.size(), "dimension mismatch");
   Poly acc{};
   for (std::size_t i = 0; i < b.size(); ++i) {
-    acc = add(acc, mul(b[i], s[i], qbits), qbits);
+    accumulate(acc, mul(b[i], s[i], qbits));
   }
-  return acc;
+  return acc.reduce(qbits);
 }
 
 }  // namespace saber::ring

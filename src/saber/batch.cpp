@@ -1,0 +1,48 @@
+#include "saber/batch.hpp"
+
+#include "common/check.hpp"
+
+namespace saber::batch {
+
+KemBatch::KemBatch(const kem::SaberParams& params, std::string_view mult_name,
+                   unsigned threads)
+    : params_(params), mult_name_(mult_name), pool_(threads) {
+  schemes_.reserve(pool_.size());
+  for (unsigned i = 0; i < pool_.size(); ++i) {
+    schemes_.push_back(std::make_unique<kem::SaberKemScheme>(params_, mult_name_));
+  }
+}
+
+std::vector<kem::KemKeyPair> KemBatch::keygen_many(
+    std::span<const KeygenRequest> requests) {
+  std::vector<kem::KemKeyPair> out(requests.size());
+  pool_.run(requests.size(), [&](unsigned worker, std::size_t i) {
+    const auto& r = requests[i];
+    out[i] = scheme(worker).keygen_deterministic(r.seed_a, r.seed_s, r.z);
+  });
+  return out;
+}
+
+std::vector<kem::EncapsResult> KemBatch::encaps_many(
+    std::span<const u8> pk, std::span<const kem::Message> messages) {
+  // Per-key work once per batch: expand A from its seed and forward-transform
+  // A and b. The prepared transforms are plain data, shared read-only by all
+  // workers (every worker's multiplier has the same configuration).
+  const kem::PreparedPublicKey prep = schemes_[0]->pke().prepare_pk(pk);
+  std::vector<kem::EncapsResult> out(messages.size());
+  pool_.run(messages.size(), [&](unsigned worker, std::size_t i) {
+    out[i] = scheme(worker).encaps_deterministic(pk, prep, messages[i]);
+  });
+  return out;
+}
+
+std::vector<kem::SharedSecret> KemBatch::decaps_many(
+    std::span<const u8> sk, std::span<const std::vector<u8>> cts) {
+  std::vector<kem::SharedSecret> out(cts.size());
+  pool_.run(cts.size(), [&](unsigned worker, std::size_t i) {
+    out[i] = scheme(worker).decaps(cts[i], sk);
+  });
+  return out;
+}
+
+}  // namespace saber::batch

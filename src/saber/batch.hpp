@@ -1,0 +1,65 @@
+// Batched, multithreaded KEM throughput pipeline.
+//
+// A server terminating many KEM handshakes does not run one operation at a
+// time: it drains queues of independent keygen / encaps / decaps requests.
+// KemBatch models that workload. Each worker thread owns a private
+// SaberKemScheme (and therefore a private multiplier instance, so the
+// mutable op counters never race), and per-key work — SHAKE-expanding A and
+// forward-transforming A and b — is done once per batch and shared read-only
+// across workers via the split-transform cache (mult/batch.hpp).
+//
+// Determinism: requests map to output slots by index and every request is a
+// pure function of its inputs, so results are bit-identical for any thread
+// count.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "saber/kem.hpp"
+
+namespace saber::batch {
+
+/// Inputs of one deterministic key generation.
+struct KeygenRequest {
+  kem::Seed seed_a;       ///< pre-hash seed for the public matrix A
+  kem::Seed seed_s;       ///< seed for the secret vector s
+  kem::SharedSecret z;    ///< implicit-rejection secret
+};
+
+class KemBatch {
+ public:
+  /// `mult_name`: any strategy from mult::multiplier_names(); resolved once
+  /// per worker. `threads == 0` uses the hardware concurrency.
+  KemBatch(const kem::SaberParams& params, std::string_view mult_name,
+           unsigned threads = 0);
+
+  unsigned threads() const { return pool_.size(); }
+  const kem::SaberParams& params() const { return params_; }
+
+  /// Generate keys[i] from requests[i].
+  std::vector<kem::KemKeyPair> keygen_many(std::span<const KeygenRequest> requests);
+
+  /// Encapsulate messages[i] (pre-hash message seeds, as in
+  /// encaps_deterministic) against one public key; A-expansion and operand
+  /// transforms are amortized over the whole batch.
+  std::vector<kem::EncapsResult> encaps_many(std::span<const u8> pk,
+                                             std::span<const kem::Message> messages);
+
+  /// Decapsulate cts[i] under one KEM secret key.
+  std::vector<kem::SharedSecret> decaps_many(std::span<const u8> sk,
+                                             std::span<const std::vector<u8>> cts);
+
+ private:
+  const kem::SaberKemScheme& scheme(unsigned worker) const { return *schemes_[worker]; }
+
+  kem::SaberParams params_;
+  std::string mult_name_;
+  std::vector<std::unique_ptr<kem::SaberKemScheme>> schemes_;  ///< one per worker
+  ThreadPool pool_;
+};
+
+}  // namespace saber::batch

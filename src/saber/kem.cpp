@@ -33,24 +33,45 @@ void ct_cmov(std::span<u8> dst, std::span<const u8> src, u8 mask) {
 SaberKemScheme::SaberKemScheme(const SaberParams& params, ring::PolyMulFn mul)
     : pke_(params, std::move(mul)) {}
 
-KemKeyPair SaberKemScheme::keygen(RandomSource& rng) const {
-  auto pke_keys = pke_.keygen(rng);
+SaberKemScheme::SaberKemScheme(const SaberParams& params,
+                               std::shared_ptr<const mult::PolyMultiplier> algo)
+    : pke_(params, std::move(algo)) {}
 
+SaberKemScheme::SaberKemScheme(const SaberParams& params, std::string_view mult_name)
+    : pke_(params, mult_name) {}
+
+namespace {
+
+KemKeyPair assemble_kem_keys(PkeKeyPair pke_keys, const SharedSecret& z,
+                             const SaberParams& params) {
   KemKeyPair kp;
   kp.pk = pke_keys.pk;
   kp.sk = std::move(pke_keys.sk);
   kp.sk.insert(kp.sk.end(), kp.pk.begin(), kp.pk.end());
   const auto pk_hash = sha3::Sha3_256::hash(kp.pk);
   kp.sk.insert(kp.sk.end(), pk_hash.begin(), pk_hash.end());
-  std::array<u8, kKeyBytes> z{};
-  rng.fill(z);
   kp.sk.insert(kp.sk.end(), z.begin(), z.end());
-  SABER_ENSURE(kp.sk.size() == params().kem_sk_bytes(), "KEM secret key size mismatch");
+  SABER_ENSURE(kp.sk.size() == params.kem_sk_bytes(), "KEM secret key size mismatch");
   return kp;
 }
 
-EncapsResult SaberKemScheme::encaps_deterministic(std::span<const u8> pk,
-                                                  const Message& m_raw) const {
+}  // namespace
+
+KemKeyPair SaberKemScheme::keygen(RandomSource& rng) const {
+  auto pke_keys = pke_.keygen(rng);
+  SharedSecret z{};
+  rng.fill(z);
+  return assemble_kem_keys(std::move(pke_keys), z, params());
+}
+
+KemKeyPair SaberKemScheme::keygen_deterministic(const Seed& seed_a, const Seed& seed_s,
+                                                const SharedSecret& z) const {
+  return assemble_kem_keys(pke_.keygen(seed_a, seed_s), z, params());
+}
+
+EncapsResult SaberKemScheme::encaps_with(std::span<const u8> pk,
+                                         const PreparedPublicKey* prep,
+                                         const Message& m_raw) const {
   // m = SHA3-256(m_raw): the reference hashes the sampled message so no raw
   // RNG output enters the ciphertext.
   const auto m_arr = sha3::Sha3_256::hash(m_raw);
@@ -70,7 +91,7 @@ EncapsResult SaberKemScheme::encaps_deterministic(std::span<const u8> pk,
               r.begin());
 
   EncapsResult res;
-  res.ct = pke_.encrypt(m, r, pk);
+  res.ct = prep ? pke_.encrypt(m, r, *prep) : pke_.encrypt(m, r, pk);
 
   // K = SHA3-256(khat || SHA3-256(ct))
   const auto ct_hash = sha3::Sha3_256::hash(res.ct);
@@ -78,6 +99,17 @@ EncapsResult SaberKemScheme::encaps_deterministic(std::span<const u8> pk,
             kr.begin() + static_cast<std::ptrdiff_t>(kHashBytes));
   res.key = sha3::Sha3_256::hash(kr);
   return res;
+}
+
+EncapsResult SaberKemScheme::encaps_deterministic(std::span<const u8> pk,
+                                                  const Message& m_raw) const {
+  return encaps_with(pk, nullptr, m_raw);
+}
+
+EncapsResult SaberKemScheme::encaps_deterministic(std::span<const u8> pk,
+                                                  const PreparedPublicKey& prep,
+                                                  const Message& m_raw) const {
+  return encaps_with(pk, &prep, m_raw);
 }
 
 EncapsResult SaberKemScheme::encaps(std::span<const u8> pk, RandomSource& rng) const {

@@ -24,23 +24,47 @@ struct EncapsResult {
 
 class SaberKemScheme {
  public:
+  /// Generic path: any PolyMulFn (hardware models, custom closures).
   SaberKemScheme(const SaberParams& params, ring::PolyMulFn mul);
+
+  /// Fast path: an owned software multiplier (transform-cached batch backend).
+  SaberKemScheme(const SaberParams& params,
+                 std::shared_ptr<const mult::PolyMultiplier> algo);
+
+  /// Thin wrapper: resolve a strategy name once.
+  SaberKemScheme(const SaberParams& params, std::string_view mult_name);
 
   const SaberParams& params() const { return pke_.params(); }
   const SaberPke& pke() const { return pke_; }
 
   KemKeyPair keygen(RandomSource& rng) const;
+
+  /// Deterministic key generation from explicit seeds and implicit-rejection
+  /// secret `z` (exposed for reproducible tests and the batch pipeline).
+  KemKeyPair keygen_deterministic(const Seed& seed_a, const Seed& seed_s,
+                                  const SharedSecret& z) const;
+
   EncapsResult encaps(std::span<const u8> pk, RandomSource& rng) const;
 
   /// Deterministic encapsulation from an explicit pre-hash message seed
   /// (exposed for reproducible tests).
   EncapsResult encaps_deterministic(std::span<const u8> pk, const Message& m_raw) const;
 
+  /// Deterministic encapsulation against a prepared public key (fast path).
+  /// `pk` must be the exact byte string the preparation came from: it still
+  /// enters the hash H(pk) binding the shared secret to the key.
+  EncapsResult encaps_deterministic(std::span<const u8> pk,
+                                    const PreparedPublicKey& prep,
+                                    const Message& m_raw) const;
+
   /// Decapsulation with implicit rejection: always returns a key; on a
   /// tampered ciphertext the key is derived from the secret z instead.
   SharedSecret decaps(std::span<const u8> ct, std::span<const u8> sk) const;
 
  private:
+  EncapsResult encaps_with(std::span<const u8> pk, const PreparedPublicKey* prep,
+                           const Message& m_raw) const;
+
   SaberPke pke_;
 };
 

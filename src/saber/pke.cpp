@@ -1,6 +1,7 @@
 #include "saber/pke.hpp"
 
 #include "common/check.hpp"
+#include "mult/strategy.hpp"
 #include "ring/packing.hpp"
 #include "saber/gen.hpp"
 #include "sha3/sha3.hpp"
@@ -34,6 +35,28 @@ Message poly_to_message(const ring::Poly& p) {
 SaberPke::SaberPke(const SaberParams& params, ring::PolyMulFn mul)
     : params_(params), mul_(std::move(mul)) {
   SABER_REQUIRE(static_cast<bool>(mul_), "multiplier required");
+}
+
+SaberPke::SaberPke(const SaberParams& params,
+                   std::shared_ptr<const mult::PolyMultiplier> algo)
+    : params_(params), algo_(std::move(algo)) {
+  SABER_REQUIRE(static_cast<bool>(algo_), "multiplier required");
+}
+
+SaberPke::SaberPke(const SaberParams& params, std::string_view mult_name)
+    : SaberPke(params, std::shared_ptr<const mult::PolyMultiplier>(
+                           mult::make_multiplier(mult_name))) {}
+
+ring::PolyVec SaberPke::mat_vec(const ring::PolyMatrix& a, const ring::SecretVec& s,
+                                bool transpose) const {
+  if (algo_) return mult::matrix_vector_mul(a, s, *algo_, kEq, transpose);
+  return ring::matrix_vector_mul(a, s, mul_, kEq, transpose);
+}
+
+ring::Poly SaberPke::inner(const ring::PolyVec& b, const ring::SecretVec& s,
+                           unsigned qbits) const {
+  if (algo_) return mult::inner_product(b, s, *algo_, qbits);
+  return ring::inner_product(b, s, mul_, qbits);
 }
 
 ring::PolyVec SaberPke::round_q_to_p(ring::PolyVec v) const {
@@ -97,7 +120,7 @@ PkeKeyPair SaberPke::keygen(const Seed& seed_a_in, const Seed& seed_s) const {
   const auto a = gen_matrix(seed_a, params_);
   const auto s = gen_secret(seed_s, params_);
   // b = round(A^T s + h): KeyGen multiplies by the transpose (round-3 spec).
-  auto b = matrix_vector_mul(a, s, mul_, kEq, /*transpose=*/true);
+  auto b = mat_vec(a, s, /*transpose=*/true);
   for (auto& poly : b) poly.reduce(kEq);
   b = round_q_to_p(std::move(b));
 
@@ -111,18 +134,8 @@ PkeKeyPair SaberPke::keygen(RandomSource& rng) const {
   return keygen(seed_a, seed_s);
 }
 
-std::vector<u8> SaberPke::encrypt(const Message& m, const Seed& seed_sp,
-                                  std::span<const u8> pk) const {
-  ring::PolyVec b;
-  Seed seed_a{};
-  unpack_pk(pk, b, seed_a);
-  const auto a = gen_matrix(seed_a, params_);
-  const auto sp = gen_secret(seed_sp, params_);
-
-  // b' = round(A s' + h), packed into the ciphertext.
-  auto bp = matrix_vector_mul(a, sp, mul_, kEq, /*transpose=*/false);
-  bp = round_q_to_p(std::move(bp));
-
+std::vector<u8> SaberPke::encrypt_core(const Message& m, ring::PolyVec bp,
+                                       const ring::Poly& vp) const {
   std::vector<u8> ct;
   ct.reserve(params_.ct_bytes());
   for (const auto& poly : bp) {
@@ -131,7 +144,6 @@ std::vector<u8> SaberPke::encrypt(const Message& m, const Seed& seed_sp,
   }
 
   // cm = (v' + h1 - 2^(ep-1) m  mod p) >> (ep - et), with v' = b^T s' mod p.
-  auto vp = inner_product(b, sp, mul_, kEp);
   const auto mp = message_to_poly(m);
   ring::Poly cm;
   for (std::size_t i = 0; i < kNn; ++i) {
@@ -143,6 +155,43 @@ std::vector<u8> SaberPke::encrypt(const Message& m, const Seed& seed_sp,
   ct.insert(ct.end(), cm_bytes.begin(), cm_bytes.end());
   SABER_ENSURE(ct.size() == params_.ct_bytes(), "ciphertext size mismatch");
   return ct;
+}
+
+std::vector<u8> SaberPke::encrypt(const Message& m, const Seed& seed_sp,
+                                  std::span<const u8> pk) const {
+  ring::PolyVec b;
+  Seed seed_a{};
+  unpack_pk(pk, b, seed_a);
+  const auto a = gen_matrix(seed_a, params_);
+  const auto sp = gen_secret(seed_sp, params_);
+
+  // b' = round(A s' + h), packed into the ciphertext.
+  auto bp = mat_vec(a, sp, /*transpose=*/false);
+  bp = round_q_to_p(std::move(bp));
+  const auto vp = inner(b, sp, kEp);
+  return encrypt_core(m, std::move(bp), vp);
+}
+
+PreparedPublicKey SaberPke::prepare_pk(std::span<const u8> pk) const {
+  SABER_REQUIRE(static_cast<bool>(algo_),
+                "prepare_pk requires an owned multiplier (fast path)");
+  ring::PolyVec b;
+  Seed seed_a{};
+  unpack_pk(pk, b, seed_a);
+  const auto a = gen_matrix(seed_a, params_);
+  return PreparedPublicKey{mult::PreparedMatrix(a, *algo_, kEq),
+                           mult::PreparedVector(b, *algo_, kEp)};
+}
+
+std::vector<u8> SaberPke::encrypt(const Message& m, const Seed& seed_sp,
+                                  const PreparedPublicKey& pk) const {
+  SABER_REQUIRE(static_cast<bool>(algo_),
+                "prepared encryption requires an owned multiplier (fast path)");
+  const auto sp = gen_secret(seed_sp, params_);
+  auto bp = mult::matrix_vector_mul(pk.a, sp, *algo_, /*transpose=*/false);
+  bp = round_q_to_p(std::move(bp));
+  const auto vp = mult::inner_product(pk.b, sp, *algo_);
+  return encrypt_core(m, std::move(bp), vp);
 }
 
 Message SaberPke::decrypt(std::span<const u8> ct, std::span<const u8> sk) const {
@@ -159,7 +208,7 @@ Message SaberPke::decrypt(std::span<const u8> ct, std::span<const u8> sk) const 
       params_.et);
 
   // m' = (v + h2 - 2^(ep-et) cm  mod p) >> (ep - 1), with v = b'^T s mod p.
-  auto v = inner_product(bp, s, mul_, kEp);
+  const auto v = inner(bp, s, kEp);
   ring::Poly mp;
   for (std::size_t i = 0; i < kNn; ++i) {
     const u32 val = static_cast<u32>(v[i]) + params_.h2() + (u32{1} << kEp) -

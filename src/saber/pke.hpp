@@ -2,12 +2,25 @@
 // Saber.PKE.KeyGen / Enc / Dec), with the polynomial multiplier injected so
 // the scheme can run on any software algorithm or simulated hardware
 // multiplier.
+//
+// Two injection forms exist:
+//  * a `mult::PolyMultiplier` instance (owned, resolved once) — the fast
+//    path: matrix products run through the transform-cached batch backend
+//    (mult/batch.hpp), and public keys can be pre-transformed with
+//    prepare_pk() to amortize A-expansion and forward transforms across many
+//    encryptions;
+//  * a raw `ring::PolyMulFn` — the generic path used by the cycle-accurate
+//    hardware models, which multiply one product at a time by design.
 #pragma once
 
 #include <array>
+#include <memory>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "mult/batch.hpp"
 #include "ring/polyvec.hpp"
 #include "saber/params.hpp"
 
@@ -21,11 +34,32 @@ struct PkeKeyPair {
 using Message = std::array<u8, SaberParams::key_bytes>;
 using Seed = std::array<u8, SaberParams::seed_bytes>;
 
+/// A public key with the expensive per-key work done once: A expanded from
+/// its seed and forward-transformed, b forward-transformed. Reusable across
+/// any number of encrypt() calls on the SaberPke that produced it (or any
+/// SaberPke over the same parameters and multiplier strategy).
+struct PreparedPublicKey {
+  mult::PreparedMatrix a;   ///< transforms of A, mod q
+  mult::PreparedVector b;   ///< transforms of b, mod p
+};
+
 class SaberPke {
  public:
+  /// Generic path: any PolyMulFn (hardware models, custom closures).
   SaberPke(const SaberParams& params, ring::PolyMulFn mul);
 
+  /// Fast path: an owned software multiplier; matrix products use the
+  /// transform-cached batch backend.
+  SaberPke(const SaberParams& params,
+           std::shared_ptr<const mult::PolyMultiplier> algo);
+
+  /// Thin wrapper: resolve a strategy name once (see multiplier_names()).
+  SaberPke(const SaberParams& params, std::string_view mult_name);
+
   const SaberParams& params() const { return params_; }
+
+  /// The owned multiplier, or nullptr on the generic PolyMulFn path.
+  const mult::PolyMultiplier* multiplier() const { return algo_.get(); }
 
   /// Key generation from explicit seeds (deterministic; the KEM layer and
   /// tests use this). seed_a is re-hashed through SHAKE-128 as in the
@@ -39,6 +73,13 @@ class SaberPke {
   std::vector<u8> encrypt(const Message& m, const Seed& seed_sp,
                           std::span<const u8> pk) const;
 
+  /// One-time per-key preparation for batched encryption (fast path only).
+  PreparedPublicKey prepare_pk(std::span<const u8> pk) const;
+
+  /// Encrypt against a prepared public key (fast path only).
+  std::vector<u8> encrypt(const Message& m, const Seed& seed_sp,
+                          const PreparedPublicKey& pk) const;
+
   /// Decrypt.
   Message decrypt(std::span<const u8> ct, std::span<const u8> sk) const;
 
@@ -50,9 +91,16 @@ class SaberPke {
 
  private:
   ring::PolyVec round_q_to_p(ring::PolyVec v) const;
+  ring::PolyVec mat_vec(const ring::PolyMatrix& a, const ring::SecretVec& s,
+                        bool transpose) const;
+  ring::Poly inner(const ring::PolyVec& b, const ring::SecretVec& s,
+                   unsigned qbits) const;
+  std::vector<u8> encrypt_core(const Message& m, ring::PolyVec bp,
+                               const ring::Poly& vp) const;
 
   SaberParams params_;
-  ring::PolyMulFn mul_;
+  std::shared_ptr<const mult::PolyMultiplier> algo_;  ///< fast path when set
+  ring::PolyMulFn mul_;                               ///< generic path otherwise
 };
 
 }  // namespace saber::kem

@@ -31,6 +31,29 @@ TEST_P(RingProps, SubIsInverseOfAdd) {
   EXPECT_EQ(add(sub(a, b, qbits()), b, qbits()), a);
 }
 
+TEST_P(RingProps, InPlaceOpsMatchValueOps) {
+  Xoshiro256StarStar rng(14);
+  const auto a = Poly::random(rng, qbits());
+  const auto b = Poly::random(rng, qbits());
+  auto x = a;
+  EXPECT_EQ(add_inplace(x, b, qbits()), add(a, b, qbits()));
+  x = a;
+  EXPECT_EQ(sub_inplace(x, b, qbits()), sub(a, b, qbits()));
+}
+
+TEST_P(RingProps, LazyAccumulateMatchesMaskedAdds) {
+  // accumulate() wraps mod 2^16 without masking; a single reduce() at the
+  // end must equal per-term masked addition for any power-of-two modulus.
+  Xoshiro256StarStar rng(15);
+  Poly lazy{}, eager{};
+  for (int term = 0; term < 8; ++term) {
+    const auto t = Poly::random(rng, qbits());
+    accumulate(lazy, t);
+    eager = add(eager, t, qbits());
+  }
+  EXPECT_EQ(lazy.reduce(qbits()), eager);
+}
+
 TEST_P(RingProps, ZeroIsIdentity) {
   Xoshiro256StarStar rng(13);
   const auto a = Poly::random(rng, qbits());

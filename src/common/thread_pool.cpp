@@ -23,18 +23,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::drain(unsigned worker_id) {
-  // The acquire on the counter RMW pairs with run()'s release store, so a
-  // worker that obtains an index of the current job also sees job_/job_size_
-  // and the remaining_ preset. Once the counter passes job_size_ it stays
-  // there until the next run() resets it, so stale workers can never
-  // dereference a finished job.
+  // Index handout is a bare atomic counter. Every thread in here passed the
+  // generation handshake in run()/worker_loop(), and run() rewrites the job
+  // fields only after all drainers of the previous generation left (it waits
+  // for in_drain_ == 0), so job_/job_size_ are stable for the whole loop.
   for (;;) {
-    const std::size_t i = next_index_.fetch_add(1, std::memory_order_acq_rel);
+    const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
     if (i >= job_size_) break;
     (*job_)(worker_id, i);
-    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      done_cv_.notify_one();
-    }
   }
 }
 
@@ -46,8 +42,20 @@ void ThreadPool::worker_loop(unsigned id) {
       start_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
       if (stopping_) return;
       seen = generation_;
+      // run() already returned for this generation: the job is fully drained
+      // and its fields may be rewritten any moment, so do not touch it.
+      if (!job_active_) continue;
+      ++in_drain_;
     }
     drain(id);
+    {
+      std::lock_guard lock(mutex_);
+      --in_drain_;
+    }
+    // The decrement happened under mutex_ and run()'s waiter re-checks its
+    // predicate under the same mutex, so this wakeup cannot fall into the
+    // waiter's check-then-block window (no lost wakeup).
+    done_cv_.notify_one();
   }
 }
 
@@ -56,17 +64,24 @@ void ThreadPool::run(std::size_t n,
   if (n == 0) return;
   {
     std::lock_guard lock(mutex_);
-    // Publish the job before opening the index counter (release; see drain).
     job_ = &fn;
     job_size_ = n;
-    remaining_.store(n, std::memory_order_relaxed);
-    next_index_.store(0, std::memory_order_release);
+    next_index_.store(0, std::memory_order_relaxed);
     ++generation_;
+    job_active_ = true;
   }
   start_cv_.notify_all();
   drain(/*worker_id=*/0);
+  // The calling thread leaves drain() only once every index has been handed
+  // out; workers still inside drain() are finishing the indices they hold.
+  // Wait for them (their side effects are published by the mutex), then
+  // retire the job so a late-waking worker skips this generation instead of
+  // draining state a subsequent run() may be rewriting.
   std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [&] { return remaining_.load(std::memory_order_acquire) == 0; });
+  done_cv_.wait(lock, [&] { return in_drain_ == 0; });
+  job_active_ = false;
+  job_ = nullptr;
+  job_size_ = 0;
 }
 
 }  // namespace saber

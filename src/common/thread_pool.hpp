@@ -42,11 +42,17 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
+  // Job description. Written by run() under mutex_ and only while no worker
+  // is inside drain() (run() waits for in_drain_ == 0 before returning, and
+  // workers enter drain() only via the generation handshake under mutex_),
+  // so the unlocked reads in drain() never race with these writes.
   const std::function<void(unsigned, std::size_t)>* job_ = nullptr;
   std::size_t job_size_ = 0;
-  u64 generation_ = 0;
   std::atomic<std::size_t> next_index_{0};
-  std::atomic<std::size_t> remaining_{0};
+  // Handshake state, all guarded by mutex_.
+  u64 generation_ = 0;
+  unsigned in_drain_ = 0;    ///< pool workers currently inside drain()
+  bool job_active_ = false;  ///< current generation still accepts drainers
   bool stopping_ = false;
 };
 

@@ -4,8 +4,6 @@
 
 namespace saber::mult {
 
-namespace {
-
 std::vector<Transformed> prepare_secrets(const ring::SecretVec& s,
                                          const PolyMultiplier& m, unsigned qbits) {
   std::vector<Transformed> ts;
@@ -13,8 +11,6 @@ std::vector<Transformed> prepare_secrets(const ring::SecretVec& s,
   for (const auto& sj : s) ts.push_back(m.prepare_secret(sj, qbits));
   return ts;
 }
-
-}  // namespace
 
 PreparedMatrix::PreparedMatrix(const ring::PolyMatrix& a, const PolyMultiplier& m,
                                unsigned qbits)
@@ -34,18 +30,14 @@ PreparedVector::PreparedVector(const ring::PolyVec& v, const PolyMultiplier& m,
   for (const auto& p : v) elems_.push_back(m.prepare_public(p, qbits));
 }
 
-ring::PolyVec matrix_vector_mul(const PreparedMatrix& a, const ring::SecretVec& s,
+ring::PolyVec matrix_vector_mul(const PreparedMatrix& a,
+                                std::span<const Transformed> ts,
                                 const PolyMultiplier& m, bool transpose) {
   SABER_REQUIRE(a.rows() == a.cols(), "matrix must be square");
-  SABER_REQUIRE(a.cols() == s.size(), "dimension mismatch");
-  SABER_REQUIRE(s.size() <= PolyMultiplier::kMaxAccumulatedTerms,
+  SABER_REQUIRE(a.cols() == ts.size(), "dimension mismatch");
+  SABER_REQUIRE(ts.size() <= m.max_accumulated_terms(),
                 "batch accumulation exceeds exactness headroom");
   const std::size_t l = a.rows();
-  const unsigned qbits = a.qbits();
-
-  // Each secret transform is shared by all l rows (the per-product loop
-  // recomputes it l times); each row runs one inverse transform.
-  const auto ts = prepare_secrets(s, m, qbits);
 
   ring::PolyVec r(l);
   for (std::size_t i = 0; i < l; ++i) {
@@ -54,9 +46,24 @@ ring::PolyVec matrix_vector_mul(const PreparedMatrix& a, const ring::SecretVec& 
       const Transformed& aij = transpose ? a.at(j, i) : a.at(i, j);
       m.pointwise_accumulate(acc, aij, ts[j]);
     }
-    r[i] = m.finalize(acc, qbits);
+    r[i] = m.finalize(acc, a.qbits());
   }
   return r;
+}
+
+ring::PolyVec matrix_vector_mul(const PreparedMatrix& a, const ring::SecretVec& s,
+                                const PolyMultiplier& m, bool transpose) {
+  // Each secret transform is shared by all l rows (the per-product loop
+  // recomputes it l times); each row runs one inverse transform.
+  const auto ts = prepare_secrets(s, m, a.qbits());
+  return matrix_vector_mul(a, ts, m, transpose);
+}
+
+ring::PolyVec matrix_vector_mul(const ring::PolyMatrix& a,
+                                std::span<const Transformed> ts,
+                                const PolyMultiplier& m, unsigned qbits,
+                                bool transpose) {
+  return matrix_vector_mul(PreparedMatrix(a, m, qbits), ts, m, transpose);
 }
 
 ring::PolyVec matrix_vector_mul(const ring::PolyMatrix& a, const ring::SecretVec& s,
@@ -65,16 +72,27 @@ ring::PolyVec matrix_vector_mul(const ring::PolyMatrix& a, const ring::SecretVec
   return matrix_vector_mul(PreparedMatrix(a, m, qbits), s, m, transpose);
 }
 
-ring::Poly inner_product(const PreparedVector& b, const ring::SecretVec& s,
+ring::Poly inner_product(const PreparedVector& b, std::span<const Transformed> ts,
                          const PolyMultiplier& m) {
-  SABER_REQUIRE(b.size() == s.size(), "dimension mismatch");
-  SABER_REQUIRE(s.size() <= PolyMultiplier::kMaxAccumulatedTerms,
+  SABER_REQUIRE(b.size() == ts.size(), "dimension mismatch");
+  SABER_REQUIRE(ts.size() <= m.max_accumulated_terms(),
                 "batch accumulation exceeds exactness headroom");
   auto acc = m.make_accumulator();
   for (std::size_t i = 0; i < b.size(); ++i) {
-    m.pointwise_accumulate(acc, b.at(i), m.prepare_secret(s[i], b.qbits()));
+    m.pointwise_accumulate(acc, b.at(i), ts[i]);
   }
   return m.finalize(acc, b.qbits());
+}
+
+ring::Poly inner_product(const PreparedVector& b, const ring::SecretVec& s,
+                         const PolyMultiplier& m) {
+  const auto ts = prepare_secrets(s, m, b.qbits());
+  return inner_product(b, ts, m);
+}
+
+ring::Poly inner_product(const ring::PolyVec& b, std::span<const Transformed> ts,
+                         const PolyMultiplier& m, unsigned qbits) {
+  return inner_product(PreparedVector(b, m, qbits), ts, m);
 }
 
 ring::Poly inner_product(const ring::PolyVec& b, const ring::SecretVec& s,

@@ -53,6 +53,13 @@ class PreparedVector {
   std::vector<Transformed> elems_;
 };
 
+/// Transform every secret of `s` once. The result is valid at any modulus
+/// (prepare_secret does not depend on qbits), so one prepared vector can be
+/// shared across products at different moduli — SaberPke::encrypt feeds the
+/// same transforms to the mod-q matrix product and the mod-p inner product.
+std::vector<Transformed> prepare_secrets(const ring::SecretVec& s,
+                                         const PolyMultiplier& m, unsigned qbits);
+
 /// r = A s (or A^T s when `transpose`), reduced mod 2^qbits, with each
 /// operand transformed once and one inverse transform per row. Bit-identical
 /// to ring::matrix_vector_mul over the same strategy.
@@ -64,12 +71,28 @@ ring::PolyVec matrix_vector_mul(const ring::PolyMatrix& a, const ring::SecretVec
 ring::PolyVec matrix_vector_mul(const PreparedMatrix& a, const ring::SecretVec& s,
                                 const PolyMultiplier& m, bool transpose);
 
+/// As above, with the secret transforms also prepared by the caller
+/// (prepare_secrets), e.g. for reuse by a following inner_product.
+ring::PolyVec matrix_vector_mul(const ring::PolyMatrix& a,
+                                std::span<const Transformed> ts,
+                                const PolyMultiplier& m, unsigned qbits,
+                                bool transpose);
+ring::PolyVec matrix_vector_mul(const PreparedMatrix& a,
+                                std::span<const Transformed> ts,
+                                const PolyMultiplier& m, bool transpose);
+
 /// <b, s> with each operand transformed once and a single inverse transform.
 ring::Poly inner_product(const ring::PolyVec& b, const ring::SecretVec& s,
                          const PolyMultiplier& m, unsigned qbits);
 
 /// As above, with the public vector transforms already cached.
 ring::Poly inner_product(const PreparedVector& b, const ring::SecretVec& s,
+                         const PolyMultiplier& m);
+
+/// As above, with the secret transforms also prepared by the caller.
+ring::Poly inner_product(const ring::PolyVec& b, std::span<const Transformed> ts,
+                         const PolyMultiplier& m, unsigned qbits);
+ring::Poly inner_product(const PreparedVector& b, std::span<const Transformed> ts,
                          const PolyMultiplier& m);
 
 }  // namespace saber::mult

@@ -38,6 +38,14 @@ ring::Poly PolyMultiplier::finalize(const Transformed& acc, unsigned qbits) cons
   return fold_negacyclic<ring::kN>(std::span<const i64>(acc), qbits);
 }
 
+std::size_t PolyMultiplier::max_accumulated_terms() const {
+  // Convolution-domain accumulator: one product contributes at most
+  // N * (q/2) * |s|_max <= 2^8 * 2^15 * 2^7 = 2^30 per coefficient, and the
+  // negacyclic fold subtracts two accumulated coefficients (2^31 per term).
+  // 2^30 terms stay below 2^61, two bits inside i64.
+  return std::size_t{1} << 30;
+}
+
 void PolyMultiplier::conv_accumulate(std::span<const i64> a, std::span<const i64> s,
                                      std::span<i64> acc) const {
   for (std::size_t i = 0; i < a.size(); ++i) {

@@ -67,14 +67,19 @@ class PolyMultiplier {
   //   row = m.finalize(acc, q);
   //
   // Exactness requires the accumulated integer magnitudes to stay inside the
-  // backend's headroom; Saber's l <= 4 with |s| <= mu/2 is far inside it for
-  // every backend (see docs/modeling.md). Accumulating more than
-  // kMaxAccumulatedTerms products is rejected by the batch helpers.
+  // backend's headroom. Each backend derives its own safe cap and exposes it
+  // as max_accumulated_terms(); the batch helpers reject larger
+  // accumulations. Saber's l <= 4 with |s| <= mu/2 is far inside every cap
+  // (see docs/modeling.md).
 
   /// Transform a public (full-width) operand once for reuse across products.
   virtual Transformed prepare_public(const ring::Poly& a, unsigned qbits) const;
 
-  /// Transform a small signed secret once for reuse across products.
+  /// Transform a small signed secret once for reuse across products. The
+  /// result must not depend on qbits (small secrets embed into Z directly):
+  /// callers rely on this to share one secret transform across moduli, e.g.
+  /// SaberPke::encrypt reuses it for the mod-q matrix product and the mod-p
+  /// inner product.
   virtual Transformed prepare_secret(const ring::SecretPoly& s, unsigned qbits) const;
 
   /// Fresh zero accumulator in this algorithm's transform domain.
@@ -88,9 +93,13 @@ class PolyMultiplier {
   /// Inverse-transform the accumulator and reduce mod 2^qbits.
   virtual ring::Poly finalize(const Transformed& acc, unsigned qbits) const;
 
-  /// Safe bound on the number of products one accumulator may absorb (set by
-  /// the NTT backend's lift headroom; see batch.cpp). Saber needs l <= 4.
-  static constexpr std::size_t kMaxAccumulatedTerms = 64;
+  /// Largest number of products one accumulator may safely absorb before
+  /// finalize loses exactness, assuming the worst representable inputs
+  /// (qbits <= 16, |s| <= 127). Each backend derives its own bound: the
+  /// convolution default from i64 range, the NTT backend from the p'/2 lift
+  /// headroom, Toom-Cook from its evaluation/interpolation constants.
+  /// Saber needs l <= 4.
+  virtual std::size_t max_accumulated_terms() const;
 
   /// Operations accumulated since construction / last reset.
   OpCounts ops() const { return ops_; }

@@ -32,13 +32,21 @@ class NttMultiplier final : public PolyMultiplier {
   // over p'; accumulation is pointwise mod-p' multiply-add, and finalize is
   // the single inverse NTT plus the exact centered lift. Exactness of the
   // lift bounds the batch size: the accumulated integer coefficients must
-  // stay below p'/2 = 2^40 in magnitude (see kMaxAccumulatedTerms).
+  // stay below p'/2 = 2^40 in magnitude (see max_accumulated_terms).
   Transformed prepare_public(const ring::Poly& a, unsigned qbits) const override;
   Transformed prepare_secret(const ring::SecretPoly& s, unsigned qbits) const override;
   Transformed make_accumulator() const override;
   void pointwise_accumulate(Transformed& acc, const Transformed& a,
                             const Transformed& s) const override;
   ring::Poly finalize(const Transformed& acc, unsigned qbits) const override;
+
+  /// One negacyclic product coefficient is bounded by N * (q/2) * |s|_max
+  /// <= 2^8 * 2^15 * 2^7 = 2^30, so 2^10 accumulated products stay below the
+  /// p'/2 = 2^40 centered-lift headroom even for worst-case i8 secrets
+  /// (Saber's |s| <= 5 leaves far more room).
+  std::size_t max_accumulated_terms() const override {
+    return std::size_t{1} << 10;
+  }
 
   /// Forward negacyclic NTT (psi-twisted, bit-reversed output) in place.
   void forward(std::array<u64, kN>& v) const;

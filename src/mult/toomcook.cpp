@@ -106,6 +106,36 @@ ToomCookMultiplier::ToomCookMultiplier(unsigned parts)
       interp_num_[r][c] = inv[r][c].num * (lcm / inv[r][c].den);
     }
   }
+
+  // Exactness cap for the split-transform accumulator. One accumulated point
+  // product coefficient is bounded by part * (E * q/2) * (E * |s|_max) with
+  // E = max_x sum_l |x|^l the Horner amplification (q/2 <= 2^15,
+  // |s|_max <= 2^7); finalize then takes the interpolation dot product
+  // (factor max-row sum of |interp_num_|), recombines up to two overlapping
+  // limb segments, and the negacyclic fold subtracts two coefficients
+  // (factor 4 total). Cap T so the whole chain stays below 2^62.
+  u64 amp = 1;  // the infinity row evaluates to the bare leading limb
+  for (const i64 x : eval_points_) {
+    const u64 ax = static_cast<u64>(x < 0 ? -x : x);
+    u64 sum = 0, pw = 1;
+    for (unsigned l = 0; l < parts_; ++l) {
+      sum += pw;
+      pw *= ax;
+    }
+    amp = std::max(amp, sum);
+  }
+  u64 row_sum = 1;
+  for (const auto& row : interp_num_) {
+    u64 s = 0;
+    for (const i64 v : row) s += static_cast<u64>(v < 0 ? -v : v);
+    row_sum = std::max(row_sum, s);
+  }
+  // Nested floor divisions only under-estimate the true quotient, which is
+  // the conservative direction, and keep every intermediate inside u64
+  // (per_term < 2^40 for both supported orders).
+  const u64 per_term = (static_cast<u64>(part_len()) * amp * amp) << (15 + 7);
+  max_terms_ = static_cast<std::size_t>((u64{1} << 62) / per_term / (row_sum * 4));
+  SABER_ENSURE(max_terms_ >= 4, "Toom-Cook headroom below Saber's rank");
 }
 
 std::size_t ToomCookMultiplier::padded_len() const {

@@ -44,6 +44,12 @@ class ToomCookMultiplier : public PolyMultiplier {
                             const Transformed& s) const override;
   ring::Poly finalize(const Transformed& acc, unsigned qbits) const override;
 
+  /// Derived in the constructor from the actual evaluation amplification and
+  /// interpolation constants: the largest T for which the interpolation dot
+  /// product over T accumulated worst-case point products (qbits <= 16,
+  /// |s| <= 127) provably stays inside i64.
+  std::size_t max_accumulated_terms() const override { return max_terms_; }
+
  private:
   std::size_t padded_len() const;
   std::size_t part_len() const;
@@ -57,6 +63,7 @@ class ToomCookMultiplier : public PolyMultiplier {
   std::vector<i64> eval_points_;            // finite points; last row is infinity
   std::vector<std::vector<i64>> interp_num_;  // row-scaled exact inverse
   std::vector<i64> interp_den_;
+  std::size_t max_terms_ = 0;  // see max_accumulated_terms()
 };
 
 /// The paper-lineage configuration ([3]/[6]): Toom-Cook-4.

@@ -166,9 +166,18 @@ std::vector<u8> SaberPke::encrypt(const Message& m, const Seed& seed_sp,
   const auto sp = gen_secret(seed_sp, params_);
 
   // b' = round(A s' + h), packed into the ciphertext.
-  auto bp = mat_vec(a, sp, /*transpose=*/false);
+  if (algo_) {
+    // One secret transform serves both the mod-q matrix product and the
+    // mod-p inner product (prepare_secret is qbits-independent).
+    const auto tsp = mult::prepare_secrets(sp, *algo_, kEq);
+    auto bp = mult::matrix_vector_mul(a, tsp, *algo_, kEq, /*transpose=*/false);
+    bp = round_q_to_p(std::move(bp));
+    const auto vp = mult::inner_product(b, tsp, *algo_, kEp);
+    return encrypt_core(m, std::move(bp), vp);
+  }
+  auto bp = ring::matrix_vector_mul(a, sp, mul_, kEq, /*transpose=*/false);
   bp = round_q_to_p(std::move(bp));
-  const auto vp = inner(b, sp, kEp);
+  const auto vp = ring::inner_product(b, sp, mul_, kEp);
   return encrypt_core(m, std::move(bp), vp);
 }
 
@@ -188,9 +197,12 @@ std::vector<u8> SaberPke::encrypt(const Message& m, const Seed& seed_sp,
   SABER_REQUIRE(static_cast<bool>(algo_),
                 "prepared encryption requires an owned multiplier (fast path)");
   const auto sp = gen_secret(seed_sp, params_);
-  auto bp = mult::matrix_vector_mul(pk.a, sp, *algo_, /*transpose=*/false);
+  // As in the unprepared path: transform the ephemeral secret once and share
+  // it between A s' and <b, s'>.
+  const auto tsp = mult::prepare_secrets(sp, *algo_, kEq);
+  auto bp = mult::matrix_vector_mul(pk.a, tsp, *algo_, /*transpose=*/false);
   bp = round_q_to_p(std::move(bp));
-  const auto vp = mult::inner_product(pk.b, sp, *algo_);
+  const auto vp = mult::inner_product(pk.b, tsp, *algo_);
   return encrypt_core(m, std::move(bp), vp);
 }
 

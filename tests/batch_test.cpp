@@ -98,6 +98,30 @@ TEST_P(BatchDifferential, InnerProductMatchesScalarReference) {
   }
 }
 
+TEST_P(BatchDifferential, SecretTransformSharedAcrossModuli) {
+  // prepare_secret is qbits-independent, so one prepare_secrets() result must
+  // serve products at different moduli — SaberPke::encrypt relies on this to
+  // share the ephemeral secret transform between the mod-q matrix product
+  // and the mod-p inner product.
+  Xoshiro256StarStar rng(910);
+  const std::size_t l = 3;
+  const auto a = random_matrix(l, rng, qbits_);
+  ring::PolyVec b(l);
+  for (auto& p : b) p = ring::Poly::random(rng, 10);
+  const auto s = random_secrets(l, rng, 4);
+  const auto ts = mult::prepare_secrets(s, *algo_, qbits_);
+  EXPECT_EQ(mult::matrix_vector_mul(a, ts, *algo_, qbits_, false),
+            mult::matrix_vector_mul(a, s, *algo_, qbits_, false));
+  EXPECT_EQ(mult::inner_product(b, ts, *algo_, 10),
+            mult::inner_product(b, s, *algo_, 10));
+}
+
+TEST_P(BatchDifferential, AccumulationCapCoversSaber) {
+  // Every backend must accept at least FireSaber's rank (l = 4); the batch
+  // helpers reject anything beyond the backend's proven exactness headroom.
+  EXPECT_GE(algo_->max_accumulated_terms(), 4u) << algo_->name();
+}
+
 TEST_P(BatchDifferential, PreparedOperandsAreReusable) {
   // One PreparedMatrix consumed by several secrets must equal per-call
   // results (the encaps_many usage pattern).

@@ -2,12 +2,16 @@
 // contract checking.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <iterator>
 #include <set>
+#include <vector>
 
 #include "common/bits.hpp"
 #include "common/check.hpp"
 #include "common/hex.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace saber {
 namespace {
@@ -125,6 +129,36 @@ TEST(Check, ThrowsWithLocation) {
   } catch (const ContractViolation& e) {
     EXPECT_NE(std::string(e.what()).find("the message"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<unsigned>> counts(n);
+  pool.run(n, [&](unsigned, std::size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(counts[i].load(), 1u);
+}
+
+TEST(ThreadPool, BackToBackRunsWithChangingSizes) {
+  // Regression for two races in the run() handshake: a done-notification
+  // landing between the waiter's predicate check and its block (lost wakeup
+  // = hang), and a worker still draining job G touching the counters/job of
+  // G+1 (double-executed or skipped indices). Tiny jobs immediately followed
+  // by larger ones maximize both windows.
+  ThreadPool pool(4);
+  const std::size_t sizes[] = {1, 32, 2, 57, 3, 128};
+  for (std::size_t round = 0; round < 300; ++round) {
+    const std::size_t n = sizes[round % std::size(sizes)];
+    std::vector<std::atomic<unsigned>> counts(n);
+    pool.run(n, [&](unsigned, std::size_t i) {
+      counts[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(counts[i].load(), 1u) << "round=" << round << " i=" << i;
+    }
   }
 }
 

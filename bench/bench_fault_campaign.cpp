@@ -1,0 +1,295 @@
+// E8: fault-tolerance campaign for the robustness layer (src/robust/).
+//
+// Unlike the other bench binaries this is not a google-benchmark harness: a
+// fault campaign is a counting experiment (detection / recovery rates over
+// seeded fault draws), not a timing distribution. Run with no arguments for a
+// human-readable summary (the scripts/run_all.sh convention); pass
+// `--json <path>` to also write the distilled BENCH_fault.json that
+// scripts/bench_json.sh checks in.
+//
+// Three experiments:
+//   1. transient campaign - seeded single-bit transient product faults through
+//      CheckedMultiplier(kFull): detection must be 100%, retry recovery ~100%.
+//   2. stuck-at campaign   - permanently stuck product bits: detection 100%,
+//      recovery via failover to the reference backend.
+//   3. checking overhead   - cost of the verification policies, at the
+//      multiplier level and for full KEM decapsulations.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mult/schoolbook.hpp"
+#include "mult/strategy.hpp"
+#include "robust/checked_multiplier.hpp"
+#include "robust/fault_injector.hpp"
+#include "robust/faulty_multiplier.hpp"
+#include "saber/kem.hpp"
+
+namespace saber::robust {
+namespace {
+
+constexpr unsigned kQ = 13;
+constexpr const char* kBackend = "toom4";
+
+struct Campaign {
+  int trials = 0;
+  int detected = 0;
+  int retry_recovered = 0;
+  int failover_recovered = 0;
+  int unrecovered = 0;  ///< FaultDetectedError or wrong result
+
+  int recovered() const { return retry_recovered + failover_recovered; }
+  double detection_rate() const {
+    return trials == 0 ? 0.0 : static_cast<double>(detected) / trials;
+  }
+  double recovery_rate() const {
+    return trials == 0 ? 0.0 : static_cast<double>(recovered()) / trials;
+  }
+};
+
+/// One multiply under an armed fault; classifies what the checker did.
+void run_trial(Campaign& c, std::shared_ptr<FaultInjector> inj,
+               RandomSource& rng) {
+  mult::SchoolbookMultiplier ref;
+  CheckedMultiplier checked(
+      std::make_unique<FaultyPolyMultiplier>(mult::make_multiplier(kBackend),
+                                             std::move(inj)));
+  const auto a = ring::Poly::random(rng, kQ);
+  const auto s = ring::SecretPoly::random(rng, 4);
+  const auto expect = ref.multiply_secret(a, s, kQ);
+  ++c.trials;
+  try {
+    const auto got = checked.multiply_secret(a, s, kQ);
+    const auto counters = checked.fault_counters();
+    if (counters.mismatches > 0) ++c.detected;
+    if (got != expect) {
+      ++c.unrecovered;
+    } else if (counters.retry_recoveries > 0) {
+      ++c.retry_recovered;
+    } else if (counters.failovers > 0) {
+      ++c.failover_recovered;
+    }
+  } catch (const FaultDetectedError&) {
+    ++c.detected;
+    ++c.unrecovered;
+  }
+}
+
+Campaign transient_campaign(int trials) {
+  Campaign c;
+  Xoshiro256StarStar rng(1001);
+  for (int t = 0; t < trials; ++t) {
+    auto inj = std::make_shared<FaultInjector>(static_cast<u64>(t) + 1);
+    inj->arm(inj->random_product_transient(kQ, /*max_ordinal=*/1));
+    run_trial(c, std::move(inj), rng);
+  }
+  return c;
+}
+
+Campaign stuck_at_campaign(int trials) {
+  Campaign c;
+  Xoshiro256StarStar rng(2002);
+  Xoshiro256StarStar draw(3003);
+  for (int t = 0; t < trials; ++t) {
+    auto inj = std::make_shared<FaultInjector>(static_cast<u64>(t) + 1);
+    const auto coeff = static_cast<std::size_t>(draw.next_u64() % ring::kN);
+    const auto bit = static_cast<unsigned>(draw.next_u64() % kQ);
+    inj->arm(FaultSpec::permanent_flip(FaultSite::kProduct, bit, coeff));
+    run_trial(c, std::move(inj), rng);
+  }
+  return c;
+}
+
+// --- checking overhead ------------------------------------------------------
+
+double ns_per_call(const mult::PolyMultiplier& m, int iters) {
+  Xoshiro256StarStar rng(4004);
+  const auto a = ring::Poly::random(rng, kQ);
+  const auto s = ring::SecretPoly::random(rng, 4);
+  volatile u16 sink = 0;  // keep the product alive without google-benchmark
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    sink = m.multiply_secret(a, s, kQ)[0];
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  (void)sink;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                 .count()) /
+         iters;
+}
+
+struct OverheadRow {
+  std::string config;
+  double ns = 0.0;
+  double ratio = 1.0;  ///< vs the unchecked backend
+};
+
+std::vector<OverheadRow> multiplier_overhead(int iters) {
+  std::vector<OverheadRow> rows;
+  const auto raw = mult::make_multiplier(kBackend);
+  rows.push_back({std::string(kBackend), ns_per_call(*raw, iters), 1.0});
+
+  const struct {
+    const char* label;
+    CheckedConfig config;
+  } policies[] = {
+      {"off", {CheckPolicy::kOff, 8}},
+      {"sampled-8", {CheckPolicy::kSampled, 8}},
+      {"full", {CheckPolicy::kFull, 8}},
+  };
+  for (const auto& p : policies) {
+    const auto checked = make_checked(kBackend, p.config);
+    OverheadRow row;
+    row.config = "checked(" + std::string(kBackend) + ")/" + p.label;
+    row.ns = ns_per_call(*checked, iters);
+    row.ratio = row.ns / rows[0].ns;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+struct DecapsOverhead {
+  double unchecked_ns = 0.0;
+  double checked_full_ns = 0.0;
+  double ratio = 0.0;
+};
+
+double decaps_ns(const kem::SaberKemScheme& scheme, std::span<const u8> ct,
+                 std::span<const u8> sk, int iters) {
+  volatile u8 sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) sink = scheme.decaps(ct, sk)[0];
+  const auto stop = std::chrono::steady_clock::now();
+  (void)sink;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                 .count()) /
+         iters;
+}
+
+DecapsOverhead kem_decaps_overhead(int iters) {
+  kem::Seed sa{}, ss{};
+  sa.fill(0x31);
+  ss.fill(0x32);
+  kem::SharedSecret z{};
+  z.fill(0x33);
+  kem::Message m{};
+  m.fill(0x34);
+
+  kem::SaberKemScheme plain(kem::kSaber, kBackend);
+  const auto keys = plain.keygen_deterministic(sa, ss, z);
+  const auto enc = plain.encaps_deterministic(keys.pk, m);
+
+  kem::SaberKemScheme checked(
+      kem::kSaber, std::shared_ptr<const mult::PolyMultiplier>(make_checked(kBackend)));
+
+  DecapsOverhead o;
+  o.unchecked_ns = decaps_ns(plain, enc.ct, keys.sk, iters);
+  o.checked_full_ns = decaps_ns(checked, enc.ct, keys.sk, iters);
+  o.ratio = o.checked_full_ns / o.unchecked_ns;
+  return o;
+}
+
+// --- reporting --------------------------------------------------------------
+
+void print_campaign(const char* title, const Campaign& c) {
+  std::printf("%s: %d trials\n", title, c.trials);
+  std::printf("  detected            %4d  (%.1f%%)\n", c.detected,
+              100.0 * c.detection_rate());
+  std::printf("  recovered           %4d  (%.1f%%)  [retry %d, failover %d]\n",
+              c.recovered(), 100.0 * c.recovery_rate(), c.retry_recovered,
+              c.failover_recovered);
+  std::printf("  unrecovered         %4d\n\n", c.unrecovered);
+}
+
+void write_campaign_json(std::FILE* f, const char* key, const Campaign& c) {
+  std::fprintf(f,
+               "  \"%s\": {\n"
+               "    \"trials\": %d,\n"
+               "    \"detected\": %d,\n"
+               "    \"detection_rate\": %.4f,\n"
+               "    \"recovered\": %d,\n"
+               "    \"recovery_rate\": %.4f,\n"
+               "    \"retry_recoveries\": %d,\n"
+               "    \"failovers\": %d,\n"
+               "    \"unrecovered\": %d\n"
+               "  },\n",
+               key, c.trials, c.detected, c.detection_rate(), c.recovered(),
+               c.recovery_rate(), c.retry_recovered, c.failover_recovered,
+               c.unrecovered);
+}
+
+int run(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  constexpr int kTrials = 200;
+  constexpr int kMultIters = 400;
+  constexpr int kDecapsIters = 40;
+
+  const auto transient = transient_campaign(kTrials);
+  const auto stuck = stuck_at_campaign(kTrials);
+  const auto rows = multiplier_overhead(kMultIters);
+  const auto decaps = kem_decaps_overhead(kDecapsIters);
+
+  std::printf("Fault-tolerance campaign (backend %s, mod 2^%u, policy full)\n\n",
+              kBackend, kQ);
+  print_campaign("single-bit transient product faults", transient);
+  print_campaign("stuck-at product bits", stuck);
+
+  std::printf("checking overhead, multiplier level (%d iters):\n", kMultIters);
+  for (const auto& r : rows) {
+    std::printf("  %-24s %10.1f ns/mult  (%.2fx)\n", r.config.c_str(), r.ns, r.ratio);
+  }
+  std::printf("\nchecking overhead, KEM decaps (%d iters):\n", kDecapsIters);
+  std::printf("  %-24s %10.1f ns/decaps\n", kBackend, decaps.unchecked_ns);
+  std::printf("  %-24s %10.1f ns/decaps  (%.2fx)\n", "checked/full",
+              decaps.checked_full_ns, decaps.ratio);
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    write_campaign_json(f, "transient_campaign", transient);
+    write_campaign_json(f, "stuck_at_campaign", stuck);
+    std::fprintf(f, "  \"checking_overhead\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f,
+                   "    { \"config\": \"%s\", \"ns_per_multiply\": %.1f, "
+                   "\"ratio\": %.3f }%s\n",
+                   rows[i].config.c_str(), rows[i].ns, rows[i].ratio,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"kem_decaps_overhead\": {\n"
+                 "    \"backend\": \"%s\",\n"
+                 "    \"unchecked_ns\": %.1f,\n"
+                 "    \"checked_full_ns\": %.1f,\n"
+                 "    \"ratio\": %.3f\n"
+                 "  }\n",
+                 kBackend, decaps.unchecked_ns, decaps.checked_full_ns,
+                 decaps.ratio);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace saber::robust
+
+int main(int argc, char** argv) { return saber::robust::run(argc, argv); }

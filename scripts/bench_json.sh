@@ -3,6 +3,9 @@
 # reporter and distill them into checked-in result files at the repo root:
 #   BENCH_throughput.json  - transform caching + batched KEM (bench_throughput)
 #   BENCH_sw_mult.json     - software multiplier comparison (bench_sw_mult)
+#   BENCH_fault.json       - fault detection/recovery rates and checking
+#                            overhead (bench_fault_campaign, which emits the
+#                            JSON itself - it is not a google-benchmark binary)
 #
 # Usage: scripts/bench_json.sh [build-dir]   (default: build-release)
 set -euo pipefail
@@ -63,3 +66,6 @@ distill "$TMP/throughput.json" BENCH_throughput.json
   --benchmark_format=json --benchmark_out="$TMP/sw_mult.json" \
   --benchmark_out_format=json >/dev/null
 distill "$TMP/sw_mult.json" BENCH_sw_mult.json
+
+"$BUILD_DIR/bench/bench_fault_campaign" --json BENCH_fault.json >/dev/null
+echo "wrote BENCH_fault.json"

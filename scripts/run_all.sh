@@ -12,6 +12,13 @@ cmake --build --preset release
 
 ctest --test-dir build-release 2>&1 | tee test_output.txt
 
+# Run the suite a second time under address+undefined sanitizers: the
+# robustness layer's exception/zeroization paths are exactly where lifetime
+# bugs would hide.
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan
+ctest --test-dir build-asan 2>&1 | tee -a test_output.txt
+
 {
   for b in build-release/bench/*; do
     echo "===================================================================="

@@ -1,0 +1,46 @@
+// Fault-detection vocabulary shared between the robustness layer and the
+// batch pipeline.
+//
+// The checked multiplier decorators (src/robust/) count every verification,
+// mismatch and recovery; the batch KEM pipeline (saber/batch) reads those
+// counters through the narrow FaultMonitor interface to classify each item
+// as ok / recovered / failed without depending on the robustness library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "common/bits.hpp"
+
+namespace saber {
+
+/// Monotone counters of a fault-checking component. Deltas between two
+/// snapshots classify what happened during an interval of work.
+struct FaultCounters {
+  u64 checks = 0;            ///< verifications performed
+  u64 mismatches = 0;        ///< detected faults (check disagreed)
+  u64 retry_recoveries = 0;  ///< mismatches cured by recomputing on the same backend
+  u64 failovers = 0;         ///< mismatches cured by the fallback backend
+
+  u64 recoveries() const { return retry_recoveries + failovers; }
+};
+
+/// Anything that can report fault counters (implemented by the checked
+/// multiplier decorators). Consumers discover it via dynamic_cast so plain
+/// unchecked backends need no stub.
+class FaultMonitor {
+ public:
+  virtual ~FaultMonitor() = default;
+  virtual FaultCounters fault_counters() const = 0;
+};
+
+/// Thrown when a detected computational fault cannot be recovered (retry and
+/// failover both failed, or the reference backend is itself inconsistent).
+/// Distinct from ContractViolation: the *inputs* were valid; the computation
+/// broke underneath them.
+class FaultDetectedError : public std::runtime_error {
+ public:
+  explicit FaultDetectedError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace saber

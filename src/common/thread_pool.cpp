@@ -26,11 +26,19 @@ void ThreadPool::drain(unsigned worker_id) {
   // Index handout is a bare atomic counter. Every thread in here passed the
   // generation handshake in run()/worker_loop(), and run() rewrites the job
   // fields only after all drainers of the previous generation left (it waits
-  // for in_drain_ == 0), so job_/job_size_ are stable for the whole loop.
+  // for in_drain_ == 0), so job_/job_size_/errors_ are stable for the whole
+  // loop. A throwing task is captured per index and the drain continues: one
+  // poisoned index must not kill the worker (std::terminate) nor starve the
+  // remaining indices.
   for (;;) {
     const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
     if (i >= job_size_) break;
-    (*job_)(worker_id, i);
+    try {
+      (*job_)(worker_id, i);
+    } catch (...) {
+      std::lock_guard lock(errors_mutex_);
+      errors_->push_back({i, std::current_exception()});
+    }
   }
 }
 
@@ -59,13 +67,15 @@ void ThreadPool::worker_loop(unsigned id) {
   }
 }
 
-void ThreadPool::run(std::size_t n,
-                     const std::function<void(unsigned, std::size_t)>& fn) {
-  if (n == 0) return;
+std::vector<std::exception_ptr> ThreadPool::run_capture(
+    std::size_t n, const std::function<void(unsigned, std::size_t)>& fn) {
+  if (n == 0) return {};
+  std::vector<std::pair<std::size_t, std::exception_ptr>> captured;
   {
     std::lock_guard lock(mutex_);
     job_ = &fn;
     job_size_ = n;
+    errors_ = &captured;
     next_index_.store(0, std::memory_order_relaxed);
     ++generation_;
     job_active_ = true;
@@ -76,12 +86,26 @@ void ThreadPool::run(std::size_t n,
   // out; workers still inside drain() are finishing the indices they hold.
   // Wait for them (their side effects are published by the mutex), then
   // retire the job so a late-waking worker skips this generation instead of
-  // draining state a subsequent run() may be rewriting.
-  std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [&] { return in_drain_ == 0; });
-  job_active_ = false;
-  job_ = nullptr;
-  job_size_ = 0;
+  // draining state a subsequent run() may be rewriting. This teardown runs
+  // unconditionally — captured exceptions never leak the handshake.
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return in_drain_ == 0; });
+    job_active_ = false;
+    job_ = nullptr;
+    job_size_ = 0;
+    errors_ = nullptr;
+  }
+  std::vector<std::exception_ptr> by_index(n);
+  for (auto& [i, ep] : captured) by_index[i] = std::move(ep);
+  return by_index;
+}
+
+void ThreadPool::run(std::size_t n,
+                     const std::function<void(unsigned, std::size_t)>& fn) {
+  for (auto& ep : run_capture(n, fn)) {
+    if (ep) std::rethrow_exception(ep);
+  }
 }
 
 }  // namespace saber

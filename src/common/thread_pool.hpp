@@ -9,9 +9,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/bits.hpp"
@@ -32,7 +34,18 @@ class ThreadPool {
   /// Run fn(worker, index) for every index in [0, n), spreading indices over
   /// size() workers (the calling thread participates as worker 0). Blocks
   /// until all indices are done. `fn` must not call run() reentrantly.
+  ///
+  /// A throwing task does not terminate the process or poison the pool: the
+  /// exception is captured, every other index still runs, and once the batch
+  /// has fully drained the captured exception with the lowest index is
+  /// rethrown on the calling thread.
   void run(std::size_t n, const std::function<void(unsigned worker, std::size_t index)>& fn);
+
+  /// As run(), but hands the captured exceptions to the caller instead of
+  /// throwing: result[i] is the exception index i threw, or nullptr if it
+  /// completed. The batch pipeline uses this to isolate poisoned items.
+  std::vector<std::exception_ptr> run_capture(
+      std::size_t n, const std::function<void(unsigned worker, std::size_t index)>& fn);
 
  private:
   void worker_loop(unsigned id);
@@ -49,6 +62,12 @@ class ThreadPool {
   const std::function<void(unsigned, std::size_t)>* job_ = nullptr;
   std::size_t job_size_ = 0;
   std::atomic<std::size_t> next_index_{0};
+  // Per-job exception sink. Points into run_capture()'s stack frame; guarded
+  // by errors_mutex_ (not mutex_, so a throwing task never contends with the
+  // generation handshake). Same stability argument as job_: rewritten only
+  // between generations, while no worker is inside drain().
+  std::vector<std::pair<std::size_t, std::exception_ptr>>* errors_ = nullptr;
+  std::mutex errors_mutex_;
   // Handshake state, all guarded by mutex_.
   u64 generation_ = 0;
   unsigned in_drain_ = 0;    ///< pool workers currently inside drain()

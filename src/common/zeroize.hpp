@@ -1,0 +1,56 @@
+// Best-effort secure zeroization of secret material.
+//
+// A plain memset before a buffer dies is legal for the compiler to elide
+// (dead-store elimination); the helpers here write through a volatile pointer
+// and fence with an empty asm clobber so the wipe survives optimization.
+// Used on the error/exit paths of the KEM layer so secrets (decrypted
+// messages, KDF inputs, expanded secret vectors) do not linger on the stack
+// or in freed heap blocks after a request fails.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <type_traits>
+
+namespace saber {
+
+/// Overwrite `n` bytes at `p` with zeros through a volatile pointer.
+inline void secure_zeroize(void* p, std::size_t n) {
+  volatile unsigned char* vp = static_cast<volatile unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) vp[i] = 0;
+#if defined(__GNUC__) || defined(__clang__)
+  __asm__ __volatile__("" : : "r"(p) : "memory");
+#endif
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void secure_zeroize(std::span<T> s) {
+  secure_zeroize(s.data(), s.size_bytes());
+}
+
+/// Zeroize a trivially-copyable object in place.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void secure_zeroize_object(T& t) {
+  secure_zeroize(&t, sizeof(T));
+}
+
+/// RAII wiper: zeroizes the referenced object when the scope exits, whether
+/// normally or by exception — the property the "zeroize on error paths"
+/// guarantee rests on.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+class ZeroizeGuard {
+ public:
+  explicit ZeroizeGuard(T& target) : target_(target) {}
+  ~ZeroizeGuard() { secure_zeroize_object(target_); }
+
+  ZeroizeGuard(const ZeroizeGuard&) = delete;
+  ZeroizeGuard& operator=(const ZeroizeGuard&) = delete;
+
+ private:
+  T& target_;
+};
+
+}  // namespace saber

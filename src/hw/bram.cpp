@@ -30,10 +30,19 @@ void Bram64::write(std::size_t addr, u64 value) {
 }
 
 void Bram64::tick() {
-  // Reads latch pre-write contents (read-first mode).
+  // Reads latch pre-write contents (read-first mode). The fault hook sits on
+  // the data paths: read data before latching, write data before commit.
   latched_.clear();
-  for (const auto addr : pending_reads_) latched_.push_back(mem_[addr]);
-  for (const auto& w : pending_writes_) mem_[w.addr] = w.value;
+  for (const auto addr : pending_reads_) {
+    u64 v = mem_[addr];
+    if (fault_hook_) v = fault_hook_->on_bram_read(addr, v);
+    latched_.push_back(v);
+  }
+  for (const auto& w : pending_writes_) {
+    u64 v = w.value;
+    if (fault_hook_) v = fault_hook_->on_bram_write(w.addr, v);
+    mem_[w.addr] = v;
+  }
   pending_reads_.clear();
   pending_writes_.clear();
   ++cycle_;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/bits.hpp"
+#include "hw/fault_hook.hpp"
 
 namespace saber::hw {
 
@@ -68,6 +69,12 @@ class Bram64 {
   void enable_trace() { tracing_ = true; }
   const std::vector<Access>& trace() const { return trace_; }
 
+  /// Install a fault hook on the data paths (read data before latching,
+  /// write data before commit). Null disables injection; the caller owns the
+  /// hook's lifetime. Backdoor peek/poke bypass the hook, so test setup and
+  /// result extraction stay fault-free.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+
  private:
   struct Write {
     std::size_t addr;
@@ -83,6 +90,7 @@ class Bram64 {
   u64 cycle_ = 0;
   bool tracing_ = false;
   std::vector<Access> trace_;
+  FaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace saber::hw

@@ -32,7 +32,13 @@ void Dsp48::tick() {
   if (in_valid_) {
     // Wrap-around arithmetic at the ALU width, as the real slice performs.
     const u64 raw = static_cast<u64>(a_ * b_ + c_);
-    pipe_[0].value = sign_extend(raw, ports_.p_bits);
+    i64 p = sign_extend(raw, ports_.p_bits);
+    // A fault on the output register strikes here, before the value enters
+    // the pipeline; re-extend so a corrupted word still fits the P width.
+    if (fault_hook_) {
+      p = sign_extend(static_cast<u64>(fault_hook_->on_dsp_output(p)), ports_.p_bits);
+    }
+    pipe_[0].value = p;
     pipe_[0].valid = true;
     ++ops_;
   } else {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/bits.hpp"
+#include "hw/fault_hook.hpp"
 
 namespace saber::hw {
 
@@ -51,6 +52,11 @@ class Dsp48 {
   /// Multiplications performed (for the power proxy).
   u64 ops() const { return ops_; }
 
+  /// Install a fault hook on the multiply-add result as it enters the
+  /// pipeline (modeling an M/P register fault). Null disables injection; the
+  /// caller owns the hook's lifetime.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+
  private:
   struct Stage {
     i64 value = 0;
@@ -62,6 +68,7 @@ class Dsp48 {
   bool in_valid_ = false;
   std::vector<Stage> pipe_;
   u64 ops_ = 0;
+  FaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace saber::hw

@@ -40,6 +40,13 @@ u16 mac_accumulate(u16 acc, u16 multiple, bool negative, unsigned qbits) {
   return static_cast<u16>(low_bits(r, qbits));
 }
 
+u16 mac_accumulate(u16 acc, u16 multiple, bool negative, unsigned qbits,
+                   FaultHook* hook) {
+  u16 r = mac_accumulate(acc, multiple, negative, qbits);
+  if (hook) r = static_cast<u16>(low_bits(hook->on_mac_accumulate(r, qbits), qbits));
+  return r;
+}
+
 std::string CycleStats::to_string() const {
   std::ostringstream os;
   os << "total=" << total << " compute=" << compute << " preload=" << preload

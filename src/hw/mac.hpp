@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/bits.hpp"
+#include "hw/fault_hook.hpp"
 
 namespace saber::hw {
 
@@ -36,6 +37,11 @@ class MultipleSet {
 
 /// One MAC accumulate step: acc + sign * multiple mod 2^qbits.
 u16 mac_accumulate(u16 acc, u16 multiple, bool negative, unsigned qbits);
+
+/// As above, with an optional fault hook on the sum (modeling a stuck-at or
+/// transient bit in the MAC's accumulator adder). Null hook = fault-free.
+u16 mac_accumulate(u16 acc, u16 multiple, bool negative, unsigned qbits,
+                   FaultHook* hook);
 
 /// Cycle accounting for one polynomial multiplication, split the way the
 /// paper discusses overheads (§4.1: pure multiplication vs memory accesses).

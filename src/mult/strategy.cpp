@@ -24,7 +24,14 @@ std::unique_ptr<PolyMultiplier> make_multiplier(std::string_view name) {
                   "malformed karatsuba level");
     return std::make_unique<KaratsubaMultiplier>(levels);
   }
-  SABER_REQUIRE(false, "unknown multiplier name: " + std::string(name));
+  std::string msg = "unknown multiplier name: " + std::string(name) + " (registered: ";
+  const auto names = multiplier_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i != 0) msg += ", ";
+    msg += names[i];
+  }
+  msg += ")";
+  SABER_REQUIRE(false, msg);
   return nullptr;  // unreachable
 }
 

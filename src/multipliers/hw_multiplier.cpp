@@ -36,8 +36,20 @@ std::unique_ptr<HwMultiplier> make_architecture(std::string_view name) {
     return std::make_unique<HighSpeedMultiplier>(HighSpeedConfig{256, false});
   if (name == "baseline-512")
     return std::make_unique<HighSpeedMultiplier>(HighSpeedConfig{512, false});
-  SABER_REQUIRE(false, "unknown architecture name: " + std::string(name));
+  std::string msg = "unknown architecture name: " + std::string(name) + " (registered: ";
+  const auto names = architecture_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i != 0) msg += ", ";
+    msg += names[i];
+  }
+  msg += ")";
+  SABER_REQUIRE(false, msg);
   return nullptr;  // unreachable
+}
+
+std::vector<std::string_view> architecture_names() {
+  return {"lw4",     "lw8",      "lw16",         "hs1-256",      "hs1-512", "hs2",
+          "hs2-wide", "karatsuba-hw", "ntt-hw", "baseline-256", "baseline-512"};
 }
 
 std::vector<std::unique_ptr<HwMultiplier>> make_all_architectures() {

@@ -76,8 +76,11 @@ ring::PolyMulFn as_poly_mul(HwMultiplier& m);
 /// LW-4, HS-I-256, HS-I-512, HS-II, baseline [10]-256, [10]-512.
 std::vector<std::unique_ptr<HwMultiplier>> make_all_architectures();
 
-/// Factory by name: "lw4", "lw8", "lw16", "hs1-256", "hs1-512", "hs2",
-/// "baseline-256", "baseline-512".
+/// Factory by name (see architecture_names()). Throws ContractViolation for
+/// unknown names, listing every registered architecture.
 std::unique_ptr<HwMultiplier> make_architecture(std::string_view name);
+
+/// All names make_architecture() accepts.
+std::vector<std::string_view> architecture_names();
 
 }  // namespace saber::arch

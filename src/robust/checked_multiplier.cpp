@@ -1,0 +1,294 @@
+#include "robust/checked_multiplier.hpp"
+
+#include "common/check.hpp"
+#include "mult/schoolbook.hpp"
+#include "mult/strategy.hpp"
+#include "multipliers/memory_map.hpp"
+#include "ring/polyvec.hpp"
+
+namespace saber::robust {
+
+namespace {
+
+// Footer magics marking a Transformed as produced by a CheckedMultiplier.
+// They catch the one mixing mistake the type system cannot: feeding a raw
+// backend's transform into a checked instance (or vice versa — the distinct
+// name() already keys PreparedMatrix compatibility, this is defense in depth).
+constexpr i64 kPubMagic = 0x5ABE'C4EC'0000'0001LL;
+constexpr i64 kSecMagic = 0x5ABE'C4EC'0000'0002LL;
+constexpr i64 kAccMagic = 0x5ABE'C4EC'0000'0003LL;
+
+constexpr std::size_t kNn = ring::kN;
+/// Raw-operand footer of a prepared public/secret: kN coefficients + magic.
+constexpr std::size_t kOperandTail = kNn + 1;
+/// One (a, s) pair embedded in an accumulator.
+constexpr std::size_t kPairLen = 2 * kNn;
+
+ring::Poly unpack_public(std::span<const i64> raw) {
+  ring::Poly a;
+  for (std::size_t i = 0; i < kNn; ++i) a[i] = static_cast<u16>(raw[i]);
+  return a;
+}
+
+ring::SecretPoly unpack_secret(std::span<const i64> raw) {
+  ring::SecretPoly s;
+  for (std::size_t i = 0; i < kNn; ++i) s[i] = static_cast<i8>(raw[i]);
+  return s;
+}
+
+/// Split a checked accumulator into (inner prefix length, embedded pairs).
+struct AccView {
+  std::size_t inner_len;
+  std::span<const i64> pairs;  ///< n_pairs * kPairLen values
+};
+
+AccView parse_acc(const mult::Transformed& acc) {
+  SABER_REQUIRE(acc.size() >= 2 && acc.back() == kAccMagic,
+                "not a checked-multiplier accumulator");
+  const auto n = static_cast<std::size_t>(acc[acc.size() - 2]);
+  const std::size_t tail = 2 + n * kPairLen;
+  SABER_REQUIRE(acc.size() >= tail, "corrupt checked accumulator header");
+  const std::size_t inner_len = acc.size() - tail;
+  return {inner_len, std::span(acc).subspan(inner_len, n * kPairLen)};
+}
+
+std::span<const i64> operand_prefix(const mult::Transformed& t, i64 magic,
+                                    const char* what) {
+  SABER_REQUIRE(t.size() >= kOperandTail && t.back() == magic, what);
+  return std::span(t).first(t.size() - kOperandTail);
+}
+
+}  // namespace
+
+std::string_view to_string(CheckPolicy policy) {
+  switch (policy) {
+    case CheckPolicy::kOff: return "off";
+    case CheckPolicy::kSampled: return "sampled";
+    case CheckPolicy::kFull: return "full";
+  }
+  return "?";
+}
+
+CheckedMultiplier::CheckedMultiplier(std::unique_ptr<mult::PolyMultiplier> inner,
+                                     CheckedConfig config,
+                                     std::unique_ptr<mult::PolyMultiplier> fallback)
+    : inner_(std::move(inner)),
+      fallback_(fallback ? std::move(fallback)
+                         : std::make_unique<mult::SchoolbookMultiplier>()),
+      config_(config) {
+  SABER_REQUIRE(static_cast<bool>(inner_), "inner multiplier required");
+  SABER_REQUIRE(config_.policy != CheckPolicy::kSampled || config_.sample_period >= 1,
+                "sample period must be >= 1");
+  name_ = "checked(" + std::string(inner_->name()) + ")";
+}
+
+bool CheckedMultiplier::should_check() const {
+  switch (config_.policy) {
+    case CheckPolicy::kOff: return false;
+    case CheckPolicy::kFull: return true;
+    case CheckPolicy::kSampled: return sample_clock_++ % config_.sample_period == 0;
+  }
+  return false;
+}
+
+void CheckedMultiplier::record(FaultRecord::Path path, FaultRecord::Resolution res,
+                               unsigned qbits) const {
+  log_.push_back({path, res, qbits});
+}
+
+ring::Poly CheckedMultiplier::multiply(const ring::Poly& a, const ring::Poly& b,
+                                       unsigned qbits) const {
+  auto product = inner_->multiply(a, b, qbits);
+  if (!should_check()) return product;
+
+  ++counters_.checks;
+  const auto reference = fallback_->multiply(a, b, qbits);
+  if (product == reference) return product;
+
+  ++counters_.mismatches;
+  // Transient-fault recovery: a one-shot upset does not repeat.
+  const auto retried = inner_->multiply(a, b, qbits);
+  if (retried == reference) {
+    ++counters_.retry_recoveries;
+    record(FaultRecord::Path::kMultiply, FaultRecord::Resolution::kRetry, qbits);
+    return retried;
+  }
+  // Permanent fault: fail over to the reference backend — after confirming
+  // the reference reproduces itself, so a faulty reference cannot be trusted
+  // silently.
+  if (fallback_->multiply(a, b, qbits) != reference) {
+    throw FaultDetectedError(
+        "unrecoverable fault: reference backend is inconsistent with itself");
+  }
+  ++counters_.failovers;
+  record(FaultRecord::Path::kMultiply, FaultRecord::Resolution::kFailover, qbits);
+  return reference;
+}
+
+mult::Transformed CheckedMultiplier::prepare_public(const ring::Poly& a,
+                                                    unsigned qbits) const {
+  auto t = inner_->prepare_public(a, qbits);
+  t.reserve(t.size() + kOperandTail);
+  for (std::size_t i = 0; i < kNn; ++i) t.push_back(a[i]);
+  t.push_back(kPubMagic);
+  return t;
+}
+
+mult::Transformed CheckedMultiplier::prepare_secret(const ring::SecretPoly& s,
+                                                    unsigned qbits) const {
+  auto t = inner_->prepare_secret(s, qbits);
+  t.reserve(t.size() + kOperandTail);
+  for (std::size_t i = 0; i < kNn; ++i) t.push_back(s[i]);
+  t.push_back(kSecMagic);
+  return t;
+}
+
+mult::Transformed CheckedMultiplier::make_accumulator() const {
+  auto acc = inner_->make_accumulator();
+  acc.push_back(0);  // n_pairs
+  acc.push_back(kAccMagic);
+  return acc;
+}
+
+void CheckedMultiplier::pointwise_accumulate(mult::Transformed& acc,
+                                             const mult::Transformed& a,
+                                             const mult::Transformed& s) const {
+  const auto view = parse_acc(acc);
+  const auto inner_a = operand_prefix(a, kPubMagic, "not a checked public transform");
+  const auto inner_s = operand_prefix(s, kSecMagic, "not a checked secret transform");
+
+  // Delegate on the inner slices (the inner backend sees exactly the layout
+  // it produced), then rebuild: inner acc | pairs | new pair | n+1 | magic.
+  mult::Transformed inner_acc(acc.begin(),
+                              acc.begin() + static_cast<std::ptrdiff_t>(view.inner_len));
+  inner_->pointwise_accumulate(inner_acc, mult::Transformed(inner_a.begin(), inner_a.end()),
+                               mult::Transformed(inner_s.begin(), inner_s.end()));
+
+  mult::Transformed next;
+  next.reserve(inner_acc.size() + view.pairs.size() + kPairLen + 2);
+  next.insert(next.end(), inner_acc.begin(), inner_acc.end());
+  next.insert(next.end(), view.pairs.begin(), view.pairs.end());
+  next.insert(next.end(), a.end() - kOperandTail, a.end() - 1);
+  next.insert(next.end(), s.end() - kOperandTail, s.end() - 1);
+  next.push_back(static_cast<i64>(view.pairs.size() / kPairLen + 1));
+  next.push_back(kAccMagic);
+  acc = std::move(next);
+}
+
+ring::Poly CheckedMultiplier::reference_sum(std::span<const i64> pairs,
+                                            unsigned qbits) const {
+  ring::Poly sum{};
+  for (std::size_t off = 0; off < pairs.size(); off += kPairLen) {
+    const auto a = unpack_public(pairs.subspan(off, kNn));
+    const auto s = unpack_secret(pairs.subspan(off + kNn, kNn));
+    ring::add_inplace(sum, fallback_->multiply_secret(a, s, qbits), qbits);
+  }
+  return sum;
+}
+
+ring::Poly CheckedMultiplier::inner_recompute(std::span<const i64> pairs,
+                                              unsigned qbits) const {
+  // Full re-derivation on the inner backend: fresh forward transforms, fresh
+  // accumulation, fresh inverse transform. A transient during the *original*
+  // prepare or accumulate is left behind, not replayed.
+  auto acc = inner_->make_accumulator();
+  for (std::size_t off = 0; off < pairs.size(); off += kPairLen) {
+    const auto a = unpack_public(pairs.subspan(off, kNn));
+    const auto s = unpack_secret(pairs.subspan(off + kNn, kNn));
+    inner_->pointwise_accumulate(acc, inner_->prepare_public(a, qbits),
+                                 inner_->prepare_secret(s, qbits));
+  }
+  return inner_->finalize(acc, qbits);
+}
+
+ring::Poly CheckedMultiplier::finalize(const mult::Transformed& acc,
+                                       unsigned qbits) const {
+  const auto view = parse_acc(acc);
+  const mult::Transformed inner_acc(
+      acc.begin(), acc.begin() + static_cast<std::ptrdiff_t>(view.inner_len));
+  auto result = inner_->finalize(inner_acc, qbits);
+  if (!should_check()) return result;
+
+  ++counters_.checks;
+  const auto reference = reference_sum(view.pairs, qbits);
+  if (result == reference) return result;
+
+  ++counters_.mismatches;
+  const auto retried = inner_recompute(view.pairs, qbits);
+  if (retried == reference) {
+    ++counters_.retry_recoveries;
+    record(FaultRecord::Path::kFinalize, FaultRecord::Resolution::kRetry, qbits);
+    return retried;
+  }
+  if (reference_sum(view.pairs, qbits) != reference) {
+    throw FaultDetectedError(
+        "unrecoverable fault: reference backend is inconsistent with itself");
+  }
+  ++counters_.failovers;
+  record(FaultRecord::Path::kFinalize, FaultRecord::Resolution::kFailover, qbits);
+  return reference;
+}
+
+std::size_t CheckedMultiplier::max_accumulated_terms() const {
+  return inner_->max_accumulated_terms();
+}
+
+std::unique_ptr<CheckedMultiplier> make_checked(std::string_view inner_name,
+                                                CheckedConfig config) {
+  return std::make_unique<CheckedMultiplier>(mult::make_multiplier(inner_name), config);
+}
+
+CheckedHwMultiplier::CheckedHwMultiplier(std::unique_ptr<arch::HwMultiplier> inner,
+                                         CheckedConfig config,
+                                         std::unique_ptr<mult::PolyMultiplier> reference)
+    : inner_(std::move(inner)),
+      reference_(reference ? std::move(reference)
+                           : std::make_unique<mult::SchoolbookMultiplier>()),
+      config_(config) {
+  SABER_REQUIRE(static_cast<bool>(inner_), "inner architecture required");
+  SABER_REQUIRE(config_.policy != CheckPolicy::kSampled || config_.sample_period >= 1,
+                "sample period must be >= 1");
+  name_ = "checked(" + std::string(inner_->name()) + ")";
+}
+
+bool CheckedHwMultiplier::should_check() {
+  switch (config_.policy) {
+    case CheckPolicy::kOff: return false;
+    case CheckPolicy::kFull: return true;
+    case CheckPolicy::kSampled: return sample_clock_++ % config_.sample_period == 0;
+  }
+  return false;
+}
+
+arch::MultiplierResult CheckedHwMultiplier::multiply(const ring::Poly& a,
+                                                     const ring::SecretPoly& s,
+                                                     const ring::Poly* accumulate) {
+  constexpr unsigned kQ = arch::MemoryMap::kQBits;
+  auto res = inner_->multiply(a, s, accumulate);
+  if (!should_check()) return res;
+
+  ++counters_.checks;
+  auto expected = reference_->multiply_secret(a, s, kQ);
+  if (accumulate != nullptr) ring::add_inplace(expected, *accumulate, kQ);
+  if (res.product == expected) return res;
+
+  ++counters_.mismatches;
+  auto retried = inner_->multiply(a, s, accumulate);
+  if (retried.product == expected) {
+    ++counters_.retry_recoveries;
+    log_.push_back({FaultRecord::Path::kHardware, FaultRecord::Resolution::kRetry, kQ});
+    return retried;
+  }
+  auto expected2 = reference_->multiply_secret(a, s, kQ);
+  if (accumulate != nullptr) ring::add_inplace(expected2, *accumulate, kQ);
+  if (expected2 != expected) {
+    throw FaultDetectedError(
+        "unrecoverable fault: reference backend is inconsistent with itself");
+  }
+  ++counters_.failovers;
+  log_.push_back({FaultRecord::Path::kHardware, FaultRecord::Resolution::kFailover, kQ});
+  retried.product = expected;  // cycle/power stats remain the hardware runs'
+  return retried;
+}
+
+}  // namespace saber::robust

@@ -1,0 +1,144 @@
+// Runtime-verified multiplier decorators: detect, retry, fail over.
+//
+// A single stuck-at or transient bit in a MAC, DSP or BRAM silently corrupts
+// the product — and through it the KEM shared secret. CheckedMultiplier
+// wraps any software PolyMultiplier (CheckedHwMultiplier any cycle-accurate
+// HwMultiplier) and cross-checks products against an independent reference
+// backend (schoolbook by default):
+//
+//   policy kFull     every product is verified (the acceptance bar:
+//                    100% detection of single-bit product faults);
+//   policy kSampled  1-in-N products verified (cheap steady-state screening);
+//   policy kOff      pass-through (for overhead baselines).
+//
+// On a mismatch the decorator (1) records a fault event, (2) recomputes once
+// on the same backend — a transient fault does not repeat, so the retry
+// usually clears it — and (3) if the retry still disagrees, fails over to
+// the reference result, re-deriving it a second time so a fault inside the
+// reference itself cannot be silently trusted (two disagreeing reference
+// runs throw FaultDetectedError). Either way the caller receives a correct
+// product: the KEM result survives the fault.
+//
+// The split-transform path (prepare/accumulate/finalize, PR 1) is covered
+// too: the decorator's Transformed layout appends the raw operands to the
+// inner backend's transforms, so finalize() can rebuild an independent
+// reference sum — and, on retry, re-run the whole inner transform pipeline
+// from scratch (a fault during prepare/accumulate is caught, not just one
+// during finalize). The embedded operands roughly double prepared-operand
+// memory; that is the price of instance-independent verifiability (prepared
+// matrices stay shareable across worker threads, as the batch pipeline
+// requires).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/faults.hpp"
+#include "mult/multiplier.hpp"
+#include "multipliers/hw_multiplier.hpp"
+
+namespace saber::robust {
+
+enum class CheckPolicy : u8 { kOff, kSampled, kFull };
+
+std::string_view to_string(CheckPolicy policy);
+
+struct CheckedConfig {
+  CheckPolicy policy = CheckPolicy::kFull;
+  std::size_t sample_period = 8;  ///< kSampled: verify every Nth product
+};
+
+/// One detected fault and how it was resolved.
+struct FaultRecord {
+  enum class Path : u8 { kMultiply, kFinalize, kHardware };
+  enum class Resolution : u8 { kRetry, kFailover };
+  Path path;
+  Resolution resolution;
+  unsigned qbits;
+};
+
+class CheckedMultiplier final : public mult::PolyMultiplier, public FaultMonitor {
+ public:
+  /// `fallback == nullptr` uses an independent schoolbook reference. The
+  /// fallback must be a different physical instance from `inner` (and for
+  /// real fault isolation, a different algorithm).
+  explicit CheckedMultiplier(std::unique_ptr<mult::PolyMultiplier> inner,
+                             CheckedConfig config = {},
+                             std::unique_ptr<mult::PolyMultiplier> fallback = nullptr);
+
+  std::string_view name() const override { return name_; }
+  const CheckedConfig& config() const { return config_; }
+  const mult::PolyMultiplier& inner() const { return *inner_; }
+
+  FaultCounters fault_counters() const override { return counters_; }
+  const std::vector<FaultRecord>& fault_log() const { return log_; }
+
+  ring::Poly multiply(const ring::Poly& a, const ring::Poly& b,
+                      unsigned qbits) const override;
+
+  mult::Transformed prepare_public(const ring::Poly& a, unsigned qbits) const override;
+  mult::Transformed prepare_secret(const ring::SecretPoly& s,
+                                   unsigned qbits) const override;
+  mult::Transformed make_accumulator() const override;
+  void pointwise_accumulate(mult::Transformed& acc, const mult::Transformed& a,
+                            const mult::Transformed& s) const override;
+  ring::Poly finalize(const mult::Transformed& acc, unsigned qbits) const override;
+  std::size_t max_accumulated_terms() const override;
+
+ private:
+  bool should_check() const;
+  ring::Poly reference_sum(std::span<const i64> pairs, unsigned qbits) const;
+  ring::Poly inner_recompute(std::span<const i64> pairs, unsigned qbits) const;
+  void record(FaultRecord::Path path, FaultRecord::Resolution res, unsigned qbits) const;
+
+  std::unique_ptr<mult::PolyMultiplier> inner_;
+  std::unique_ptr<mult::PolyMultiplier> fallback_;
+  CheckedConfig config_;
+  std::string name_;
+  mutable FaultCounters counters_;
+  mutable std::vector<FaultRecord> log_;
+  mutable std::size_t sample_clock_ = 0;
+};
+
+/// Convenience: checked decorator over a strategy resolved by name.
+std::unique_ptr<CheckedMultiplier> make_checked(std::string_view inner_name,
+                                                CheckedConfig config = {});
+
+/// Checked decorator over a cycle-accurate architecture model. Verification
+/// compares the hardware product against an independent software reference
+/// (schoolbook by default) at the hardware modulus 2^13; on mismatch the
+/// multiplication is re-run once on the model, then failed over to the
+/// reference product (cycle statistics stay those of the hardware runs).
+class CheckedHwMultiplier final : public arch::HwMultiplier, public FaultMonitor {
+ public:
+  explicit CheckedHwMultiplier(std::unique_ptr<arch::HwMultiplier> inner,
+                               CheckedConfig config = {},
+                               std::unique_ptr<mult::PolyMultiplier> reference = nullptr);
+
+  std::string_view name() const override { return name_; }
+  FaultCounters fault_counters() const override { return counters_; }
+  const std::vector<FaultRecord>& fault_log() const { return log_; }
+
+  arch::MultiplierResult multiply(const ring::Poly& a, const ring::SecretPoly& s,
+                                  const ring::Poly* accumulate = nullptr) override;
+  const hw::AreaLedger& area() const override { return inner_->area(); }
+  unsigned logic_depth() const override { return inner_->logic_depth(); }
+  u64 headline_cycles() const override { return inner_->headline_cycles(); }
+  bool headline_includes_overhead() const override {
+    return inner_->headline_includes_overhead();
+  }
+
+ private:
+  bool should_check();
+
+  std::unique_ptr<arch::HwMultiplier> inner_;
+  std::unique_ptr<mult::PolyMultiplier> reference_;
+  CheckedConfig config_;
+  std::string name_;
+  FaultCounters counters_;
+  std::vector<FaultRecord> log_;
+  std::size_t sample_clock_ = 0;
+};
+
+}  // namespace saber::robust

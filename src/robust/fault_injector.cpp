@@ -1,0 +1,120 @@
+#include "robust/fault_injector.hpp"
+
+#include "common/check.hpp"
+
+namespace saber::robust {
+
+std::string_view to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kBramRead: return "bram-read";
+    case FaultSite::kBramWrite: return "bram-write";
+    case FaultSite::kMacAccumulate: return "mac-accumulate";
+    case FaultSite::kDspOutput: return "dsp-output";
+    case FaultSite::kProduct: return "product";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(u64 seed) : rng_(seed) {}
+
+void FaultInjector::arm(const FaultSpec& spec) {
+  SABER_REQUIRE(spec.bit < 64, "fault bit out of range");
+  SABER_REQUIRE(spec.site != FaultSite::kProduct || spec.coeff < ring::kN,
+                "product fault coefficient out of range");
+  specs_.push_back(spec);
+}
+
+void FaultInjector::disarm(FaultSite site) {
+  std::erase_if(specs_, [&](const FaultSpec& s) { return s.site == site; });
+}
+
+void FaultInjector::disarm_all() { specs_.clear(); }
+
+void FaultInjector::reset() {
+  specs_.clear();
+  activations_.clear();
+  for (auto& o : ordinals_) o = 0;
+}
+
+u64 FaultInjector::ordinal(FaultSite site) const { return ordinals_[index(site)]; }
+
+u64 FaultInjector::apply_spec(const FaultSpec& spec, u64 ordinal, u64 value) {
+  const u64 mask = u64{1} << spec.bit;
+  u64 out = value;
+  switch (spec.kind) {
+    case FaultSpec::Kind::kStuckAt:
+      out = spec.stuck_high ? (value | mask) : (value & ~mask);
+      break;
+    case FaultSpec::Kind::kTransient:
+      if (ordinal == spec.fire_at) out = value ^ mask;
+      break;
+    case FaultSpec::Kind::kBurst:
+      // burst_len may be u64-max (permanent flip); avoid fire_at + len overflow.
+      if (ordinal >= spec.fire_at && ordinal - spec.fire_at < spec.burst_len) {
+        out = value ^ mask;
+      }
+      break;
+  }
+  if (out != value) {
+    activations_.push_back({spec.site, ordinal, spec.bit, spec.coeff});
+  }
+  return out;
+}
+
+u64 FaultInjector::apply(FaultSite site, u64 value) {
+  const u64 ord = ordinals_[index(site)]++;
+  for (const auto& spec : specs_) {
+    if (spec.site == site) value = apply_spec(spec, ord, value);
+  }
+  return value;
+}
+
+void FaultInjector::corrupt_product(ring::Poly& p, unsigned qbits) {
+  const u64 ord = ordinals_[index(FaultSite::kProduct)]++;
+  for (const auto& spec : specs_) {
+    if (spec.site != FaultSite::kProduct) continue;
+    const u64 v = apply_spec(spec, ord, p[spec.coeff]);
+    p[spec.coeff] = static_cast<u16>(v & mask64(qbits));
+  }
+}
+
+FaultSpec FaultInjector::random_product_transient(unsigned qbits, u64 max_ordinal) {
+  SABER_REQUIRE(qbits >= 1 && max_ordinal >= 1, "empty campaign space");
+  FaultSpec spec;
+  spec.site = FaultSite::kProduct;
+  spec.kind = FaultSpec::Kind::kTransient;
+  spec.coeff = static_cast<std::size_t>(rng_.uniform(ring::kN));
+  spec.bit = static_cast<unsigned>(rng_.uniform(qbits));
+  spec.fire_at = rng_.uniform(max_ordinal);
+  return spec;
+}
+
+FaultSpec FaultInjector::random_transient(FaultSite site, unsigned width,
+                                          u64 max_ordinal) {
+  SABER_REQUIRE(width >= 1 && width <= 64 && max_ordinal >= 1,
+                "empty campaign space");
+  FaultSpec spec;
+  spec.site = site;
+  spec.kind = FaultSpec::Kind::kTransient;
+  spec.bit = static_cast<unsigned>(rng_.uniform(width));
+  spec.fire_at = rng_.uniform(max_ordinal);
+  return spec;
+}
+
+u64 FaultInjector::on_bram_read(std::size_t, u64 value) {
+  return apply(FaultSite::kBramRead, value);
+}
+
+u64 FaultInjector::on_bram_write(std::size_t, u64 value) {
+  return apply(FaultSite::kBramWrite, value);
+}
+
+u16 FaultInjector::on_mac_accumulate(u16 value, unsigned qbits) {
+  return static_cast<u16>(apply(FaultSite::kMacAccumulate, value) & mask64(qbits));
+}
+
+i64 FaultInjector::on_dsp_output(i64 value) {
+  return static_cast<i64>(apply(FaultSite::kDspOutput, static_cast<u64>(value)));
+}
+
+}  // namespace saber::robust

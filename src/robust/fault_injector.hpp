@@ -1,0 +1,131 @@
+// First-class, deterministic-seeded fault injection.
+//
+// A FaultInjector holds a set of armed FaultSpecs and applies them to values
+// flowing past named datapath sites. It implements hw::FaultHook, so one
+// injector can be plugged straight into the hardware primitives
+// (Bram64::set_fault_hook, Dsp48::set_fault_hook, the mac_accumulate hook
+// overload); the software backends are covered by the FaultyPolyMultiplier /
+// FaultyHwMultiplier wrappers (faulty_multiplier.hpp), which corrupt
+// polynomial products through the kProduct site.
+//
+// Three fault kinds cover the campaigns the robustness layer is evaluated
+// against:
+//   * kStuckAt    - the bit is forced to a level on every event at the site
+//                   (a permanent manufacturing or latch-up defect);
+//   * kTransient  - the bit is flipped at exactly one event ordinal
+//                   (a single-event upset);
+//   * kBurst      - the bit is flipped for a contiguous run of events
+//                   (a marginal-timing or voltage-droop episode).
+//
+// Determinism: every event at a site increments that site's ordinal counter,
+// and the campaign helpers draw from an internal seeded Xoshiro, so a
+// campaign replays bit-for-bit from its seed. Instances are not thread-safe;
+// give each worker its own injector.
+#pragma once
+
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hw/fault_hook.hpp"
+#include "ring/poly.hpp"
+
+namespace saber::robust {
+
+/// Datapath locations a fault can strike.
+enum class FaultSite : u8 {
+  kBramRead,       ///< word leaving the BRAM array
+  kBramWrite,      ///< word entering the BRAM array
+  kMacAccumulate,  ///< MAC adder sum
+  kDspOutput,      ///< DSP multiply-add result
+  kProduct,        ///< one coefficient of a finished polynomial product
+};
+
+std::string_view to_string(FaultSite site);
+
+struct FaultSpec {
+  enum class Kind : u8 { kStuckAt, kTransient, kBurst };
+
+  FaultSite site = FaultSite::kProduct;
+  Kind kind = Kind::kTransient;
+  unsigned bit = 0;        ///< bit position within the value / coefficient
+  bool stuck_high = true;  ///< kStuckAt level; transient/burst always flip
+  u64 fire_at = 0;         ///< first affected event ordinal (kTransient/kBurst)
+  u64 burst_len = 1;       ///< affected events from fire_at on (kBurst)
+  std::size_t coeff = 0;   ///< coefficient index (kProduct site only)
+
+  /// A burst covering every event: the classic always-flipping fault the old
+  /// test-local FaultyMultiplier hack modeled.
+  static FaultSpec permanent_flip(FaultSite site, unsigned bit, std::size_t coeff = 0) {
+    return {site, Kind::kBurst, bit, true, 0,
+            std::numeric_limits<u64>::max(), coeff};
+  }
+};
+
+/// One actual corruption (a spec that fired and changed the value).
+struct FaultEvent {
+  FaultSite site;
+  u64 ordinal;   ///< site-local event ordinal at which the spec fired
+  unsigned bit;
+  std::size_t coeff;  ///< kProduct only, 0 otherwise
+};
+
+class FaultInjector final : public hw::FaultHook {
+ public:
+  explicit FaultInjector(u64 seed = 0);
+
+  /// Arm a fault. Multiple specs may be armed, including at the same site.
+  void arm(const FaultSpec& spec);
+
+  /// Remove every armed spec at `site` / at all sites. Ordinal counters and
+  /// the activation log are kept (use reset() to clear those too).
+  void disarm(FaultSite site);
+  void disarm_all();
+
+  /// Forget everything: specs, ordinal counters, activation log.
+  void reset();
+
+  /// Apply every armed spec at `site` to `value` (advances the site's event
+  /// ordinal by one). Generic entry point for custom call sites.
+  u64 apply(FaultSite site, u64 value);
+
+  /// Apply every armed kProduct spec to `p` mod 2^qbits (one event ordinal
+  /// per product). Used by the software/hardware multiplier wrappers.
+  void corrupt_product(ring::Poly& p, unsigned qbits);
+
+  /// Events seen at a site so far (the next event gets this ordinal).
+  u64 ordinal(FaultSite site) const;
+
+  /// Corruptions that actually changed a value.
+  const std::vector<FaultEvent>& activations() const { return activations_; }
+
+  /// Draw a deterministic single-bit transient product fault: uniform
+  /// coefficient in [0, kN), bit in [0, qbits), fire ordinal in
+  /// [0, max_ordinal). The backbone of the seeded campaigns.
+  FaultSpec random_product_transient(unsigned qbits, u64 max_ordinal);
+
+  /// Draw a single-bit transient at a scalar site (value width in bits).
+  FaultSpec random_transient(FaultSite site, unsigned width, u64 max_ordinal);
+
+  // hw::FaultHook: routes the hardware primitives into the armed specs.
+  u64 on_bram_read(std::size_t addr, u64 value) override;
+  u64 on_bram_write(std::size_t addr, u64 value) override;
+  u16 on_mac_accumulate(u16 value, unsigned qbits) override;
+  i64 on_dsp_output(i64 value) override;
+
+ private:
+  static constexpr std::size_t kSites = 5;
+  static std::size_t index(FaultSite site) { return static_cast<std::size_t>(site); }
+
+  /// Apply `spec` to `value` given the event ordinal; records an activation
+  /// if the value changed.
+  u64 apply_spec(const FaultSpec& spec, u64 ordinal, u64 value);
+
+  std::vector<FaultSpec> specs_;
+  u64 ordinals_[kSites] = {};
+  std::vector<FaultEvent> activations_;
+  Xoshiro256StarStar rng_;
+};
+
+}  // namespace saber::robust

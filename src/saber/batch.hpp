@@ -1,4 +1,4 @@
-// Batched, multithreaded KEM throughput pipeline.
+// Batched, multithreaded KEM throughput pipeline with failure isolation.
 //
 // A server terminating many KEM handshakes does not run one operation at a
 // time: it drains queues of independent keygen / encaps / decaps requests.
@@ -8,16 +8,28 @@
 // forward-transforming A and b — is done once per batch and shared read-only
 // across workers via the split-transform cache (mult/batch.hpp).
 //
+// Failure isolation: every operation returns a per-item Outcome instead of a
+// bare value. A poisoned request (malformed ciphertext, unrecoverable
+// computational fault) fails only its own slot — the exception is captured
+// by ThreadPool::run_capture, recorded as ItemStatus::kFailed, and every
+// other item completes normally. When the workers run fault-checking
+// multipliers (robust::CheckedMultiplier, injected via the factory
+// constructor), items whose faults were detected and repaired by
+// retry/failover are reported as ItemStatus::kRecovered — the value is
+// correct, but the operator should know the hardware misbehaved.
+//
 // Determinism: requests map to output slots by index and every request is a
 // pure function of its inputs, so results are bit-identical for any thread
 // count.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/faults.hpp"
 #include "common/thread_pool.hpp"
 #include "saber/kem.hpp"
 
@@ -30,6 +42,30 @@ struct KeygenRequest {
   kem::SharedSecret z;    ///< implicit-rejection secret
 };
 
+enum class ItemStatus : u8 {
+  kOk,         ///< computed fault-free
+  kRecovered,  ///< a fault was detected and repaired; the value is correct
+  kFailed,     ///< the item threw; `value` is default-initialized (zeroized)
+};
+
+std::string_view to_string(ItemStatus status);
+
+/// Per-item result of a batch operation.
+template <typename T>
+struct Outcome {
+  T value{};                              ///< meaningful unless status == kFailed
+  ItemStatus status = ItemStatus::kOk;
+  std::string error;                      ///< diagnostic, kFailed only
+
+  bool ok() const { return status != ItemStatus::kFailed; }
+};
+
+/// Builds one multiplier per worker. Every invocation must return an
+/// equivalent configuration (same name()), or the shared prepared transforms
+/// would be inconsistent across workers.
+using MultiplierFactory =
+    std::function<std::shared_ptr<const mult::PolyMultiplier>()>;
+
 class KemBatch {
  public:
   /// `mult_name`: any strategy from mult::multiplier_names(); resolved once
@@ -37,28 +73,40 @@ class KemBatch {
   KemBatch(const kem::SaberParams& params, std::string_view mult_name,
            unsigned threads = 0);
 
+  /// Custom multiplier per worker — e.g. robust::CheckedMultiplier for a
+  /// fault-tolerant pipeline. Workers whose multiplier implements
+  /// FaultMonitor get per-item kRecovered classification.
+  KemBatch(const kem::SaberParams& params, MultiplierFactory factory,
+           unsigned threads = 0);
+
   unsigned threads() const { return pool_.size(); }
   const kem::SaberParams& params() const { return params_; }
 
   /// Generate keys[i] from requests[i].
-  std::vector<kem::KemKeyPair> keygen_many(std::span<const KeygenRequest> requests);
+  std::vector<Outcome<kem::KemKeyPair>> keygen_many(
+      std::span<const KeygenRequest> requests);
 
   /// Encapsulate messages[i] (pre-hash message seeds, as in
   /// encaps_deterministic) against one public key; A-expansion and operand
   /// transforms are amortized over the whole batch.
-  std::vector<kem::EncapsResult> encaps_many(std::span<const u8> pk,
-                                             std::span<const kem::Message> messages);
+  std::vector<Outcome<kem::EncapsResult>> encaps_many(
+      std::span<const u8> pk, std::span<const kem::Message> messages);
 
   /// Decapsulate cts[i] under one KEM secret key.
-  std::vector<kem::SharedSecret> decaps_many(std::span<const u8> sk,
-                                             std::span<const std::vector<u8>> cts);
+  std::vector<Outcome<kem::SharedSecret>> decaps_many(
+      std::span<const u8> sk, std::span<const std::vector<u8>> cts);
 
  private:
   const kem::SaberKemScheme& scheme(unsigned worker) const { return *schemes_[worker]; }
 
+  /// Run item_fn over [0, n), capturing exceptions into kFailed outcomes and
+  /// classifying fault-recovered items via the workers' FaultMonitors.
+  template <typename T, typename Fn>
+  std::vector<Outcome<T>> run_items(std::size_t n, Fn&& item_fn);
+
   kem::SaberParams params_;
-  std::string mult_name_;
   std::vector<std::unique_ptr<kem::SaberKemScheme>> schemes_;  ///< one per worker
+  std::vector<const FaultMonitor*> monitors_;  ///< per worker; null if unchecked
   ThreadPool pool_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/zeroize.hpp"
 #include "sha3/sha3.hpp"
 
 namespace saber::kem {
@@ -74,19 +75,24 @@ EncapsResult SaberKemScheme::encaps_with(std::span<const u8> pk,
                                          const Message& m_raw) const {
   // m = SHA3-256(m_raw): the reference hashes the sampled message so no raw
   // RNG output enters the ciphertext.
-  const auto m_arr = sha3::Sha3_256::hash(m_raw);
+  auto m_arr = sha3::Sha3_256::hash(m_raw);
+  ZeroizeGuard guard_m_arr(m_arr);
 
   // (khat, r) = SHA3-512(m || SHA3-256(pk))
   std::array<u8, 2 * kHashBytes> buf{};
+  ZeroizeGuard guard_buf(buf);
   std::copy(m_arr.begin(), m_arr.end(), buf.begin());
   const auto pk_hash = sha3::Sha3_256::hash(pk);
   std::copy(pk_hash.begin(), pk_hash.end(),
             buf.begin() + static_cast<std::ptrdiff_t>(kHashBytes));
   auto kr = sha3::Sha3_512().update(buf).digest();
+  ZeroizeGuard guard_kr(kr);
 
   Message m{};
+  ZeroizeGuard guard_msg(m);
   std::copy(m_arr.begin(), m_arr.end(), m.begin());
   Seed r{};
+  ZeroizeGuard guard_r(r);
   std::copy_n(kr.begin() + static_cast<std::ptrdiff_t>(kHashBytes), kHashBytes,
               r.begin());
 
@@ -126,15 +132,22 @@ SharedSecret SaberKemScheme::decaps(std::span<const u8> ct, std::span<const u8> 
   const auto pk_hash = sk.subspan(p.pke_sk_bytes() + p.pk_bytes(), kHashBytes);
   const auto z = sk.last(kKeyBytes);
 
-  const Message m = pke_.decrypt(ct, pke_sk);
+  Message m = pke_.decrypt(ct, pke_sk);
+  ZeroizeGuard guard_msg(m);
 
-  // Re-derive (khat', r') and re-encrypt.
+  // Re-derive (khat', r') and re-encrypt. Every intermediate that depends on
+  // the decrypted message or the rejection secret z is wiped when the scope
+  // exits, normally or by exception (a poisoned batch item must not leave
+  // key material on a worker's stack).
   std::array<u8, 2 * kHashBytes> buf{};
+  ZeroizeGuard guard_buf(buf);
   std::copy(m.begin(), m.end(), buf.begin());
   std::copy(pk_hash.begin(), pk_hash.end(),
             buf.begin() + static_cast<std::ptrdiff_t>(kHashBytes));
   auto kr = sha3::Sha3_512().update(buf).digest();
+  ZeroizeGuard guard_kr(kr);
   Seed r{};
+  ZeroizeGuard guard_r(r);
   std::copy_n(kr.begin() + static_cast<std::ptrdiff_t>(kHashBytes), kHashBytes,
               r.begin());
   const auto ct2 = pke_.encrypt(m, r, pk);

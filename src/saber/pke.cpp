@@ -1,6 +1,7 @@
 #include "saber/pke.hpp"
 
 #include "common/check.hpp"
+#include "common/zeroize.hpp"
 #include "mult/strategy.hpp"
 #include "ring/packing.hpp"
 #include "saber/gen.hpp"
@@ -29,6 +30,16 @@ Message poly_to_message(const ring::Poly& p) {
   }
   return m;
 }
+
+/// Wipes an expanded secret vector when the scope exits (normally or by
+/// exception) so raw secret coefficients do not linger on the stack after a
+/// request fails mid-flight.
+struct SecretVecGuard {
+  ring::SecretVec& s;
+  ~SecretVecGuard() {
+    for (auto& poly : s) secure_zeroize_object(poly);
+  }
+};
 
 }  // namespace
 
@@ -118,7 +129,8 @@ PkeKeyPair SaberPke::keygen(const Seed& seed_a_in, const Seed& seed_s) const {
   shake.squeeze(seed_a);
 
   const auto a = gen_matrix(seed_a, params_);
-  const auto s = gen_secret(seed_s, params_);
+  auto s = gen_secret(seed_s, params_);
+  SecretVecGuard guard_s{s};
   // b = round(A^T s + h): KeyGen multiplies by the transpose (round-3 spec).
   auto b = mat_vec(a, s, /*transpose=*/true);
   for (auto& poly : b) poly.reduce(kEq);
@@ -163,7 +175,8 @@ std::vector<u8> SaberPke::encrypt(const Message& m, const Seed& seed_sp,
   Seed seed_a{};
   unpack_pk(pk, b, seed_a);
   const auto a = gen_matrix(seed_a, params_);
-  const auto sp = gen_secret(seed_sp, params_);
+  auto sp = gen_secret(seed_sp, params_);
+  SecretVecGuard guard_sp{sp};
 
   // b' = round(A s' + h), packed into the ciphertext.
   if (algo_) {
@@ -196,7 +209,8 @@ std::vector<u8> SaberPke::encrypt(const Message& m, const Seed& seed_sp,
                                   const PreparedPublicKey& pk) const {
   SABER_REQUIRE(static_cast<bool>(algo_),
                 "prepared encryption requires an owned multiplier (fast path)");
-  const auto sp = gen_secret(seed_sp, params_);
+  auto sp = gen_secret(seed_sp, params_);
+  SecretVecGuard guard_sp{sp};
   // As in the unprepared path: transform the ephemeral secret once and share
   // it between A s' and <b, s'>.
   const auto tsp = mult::prepare_secrets(sp, *algo_, kEq);
@@ -208,7 +222,8 @@ std::vector<u8> SaberPke::encrypt(const Message& m, const Seed& seed_sp,
 
 Message SaberPke::decrypt(std::span<const u8> ct, std::span<const u8> sk) const {
   SABER_REQUIRE(ct.size() == params_.ct_bytes(), "bad ciphertext length");
-  const auto s = unpack_secret(sk);
+  auto s = unpack_secret(sk);
+  SecretVecGuard guard_s{s};
 
   ring::PolyVec bp(params_.l);
   for (std::size_t i = 0; i < params_.l; ++i) {

@@ -306,5 +306,28 @@ TEST(Power, LightweightResultLivesInMemory) {
   EXPECT_EQ(hs.cycles.readout, 53u);
 }
 
+// ----------------------------------------------------------- factory
+
+TEST(Factory, KnowsEveryRegisteredArchitecture) {
+  for (const auto name : architecture_names()) {
+    EXPECT_NE(make_architecture(name), nullptr) << name;
+  }
+}
+
+TEST(Factory, UnknownNameErrorListsRegisteredArchitectures) {
+  try {
+    make_architecture("systolic");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown architecture name: systolic"), std::string::npos)
+        << msg;
+    for (const auto name : architecture_names()) {
+      EXPECT_NE(msg.find(std::string(name)), std::string::npos)
+          << "missing " << name << " in: " << msg;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace saber::arch

@@ -235,7 +235,7 @@ TEST(KemBatch, DeterministicAcrossThreadCounts) {
 
   batch::KemBatch ref_batch(kem::kSaber, "toom4", 1);
   const auto ref_keys = ref_batch.keygen_many(reqs);
-  const auto ref_enc = ref_batch.encaps_many(ref_keys[0].pk, msgs);
+  const auto ref_enc = ref_batch.encaps_many(ref_keys[0].value.pk, msgs);
 
   for (const unsigned threads : {2u, 3u, 5u}) {
     batch::KemBatch b(kem::kSaber, "toom4", threads);
@@ -243,14 +243,19 @@ TEST(KemBatch, DeterministicAcrossThreadCounts) {
     const auto keys = b.keygen_many(reqs);
     ASSERT_EQ(keys.size(), ref_keys.size());
     for (std::size_t i = 0; i < keys.size(); ++i) {
-      EXPECT_EQ(keys[i].pk, ref_keys[i].pk) << "threads=" << threads << " i=" << i;
-      EXPECT_EQ(keys[i].sk, ref_keys[i].sk) << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(keys[i].status, batch::ItemStatus::kOk);
+      EXPECT_EQ(keys[i].value.pk, ref_keys[i].value.pk)
+          << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(keys[i].value.sk, ref_keys[i].value.sk)
+          << "threads=" << threads << " i=" << i;
     }
-    const auto enc = b.encaps_many(keys[0].pk, msgs);
+    const auto enc = b.encaps_many(keys[0].value.pk, msgs);
     ASSERT_EQ(enc.size(), ref_enc.size());
     for (std::size_t i = 0; i < enc.size(); ++i) {
-      EXPECT_EQ(enc[i].ct, ref_enc[i].ct) << "threads=" << threads << " i=" << i;
-      EXPECT_EQ(enc[i].key, ref_enc[i].key) << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(enc[i].value.ct, ref_enc[i].value.ct)
+          << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(enc[i].value.key, ref_enc[i].value.key)
+          << "threads=" << threads << " i=" << i;
     }
   }
 }
@@ -266,16 +271,16 @@ TEST(KemBatch, MatchesSingleOperationScheme) {
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     const auto ref = scheme.keygen_deterministic(reqs[i].seed_a, reqs[i].seed_s,
                                                  reqs[i].z);
-    EXPECT_EQ(keys[i].pk, ref.pk);
-    EXPECT_EQ(keys[i].sk, ref.sk);
+    EXPECT_EQ(keys[i].value.pk, ref.pk);
+    EXPECT_EQ(keys[i].value.sk, ref.sk);
   }
 
   const auto msgs = message_batch(4);
-  const auto enc = b.encaps_many(keys[0].pk, msgs);
+  const auto enc = b.encaps_many(keys[0].value.pk, msgs);
   for (std::size_t i = 0; i < msgs.size(); ++i) {
-    const auto ref = scheme.encaps_deterministic(keys[0].pk, msgs[i]);
-    EXPECT_EQ(enc[i].ct, ref.ct);
-    EXPECT_EQ(enc[i].key, ref.key);
+    const auto ref = scheme.encaps_deterministic(keys[0].value.pk, msgs[i]);
+    EXPECT_EQ(enc[i].value.ct, ref.ct);
+    EXPECT_EQ(enc[i].value.key, ref.key);
   }
 }
 
@@ -285,23 +290,24 @@ TEST(KemBatch, EndToEndRoundTrip) {
   const auto keys = b.keygen_many(reqs);
 
   const auto msgs = message_batch(8);
-  const auto enc = b.encaps_many(keys[1].pk, msgs);
+  const auto enc = b.encaps_many(keys[1].value.pk, msgs);
 
   std::vector<std::vector<u8>> cts;
   cts.reserve(enc.size());
-  for (const auto& e : enc) cts.push_back(e.ct);
-  const auto shared = b.decaps_many(keys[1].sk, cts);
+  for (const auto& e : enc) cts.push_back(e.value.ct);
+  const auto shared = b.decaps_many(keys[1].value.sk, cts);
   ASSERT_EQ(shared.size(), enc.size());
   for (std::size_t i = 0; i < shared.size(); ++i) {
-    EXPECT_EQ(shared[i], enc[i].key) << i;
+    EXPECT_EQ(shared[i].status, batch::ItemStatus::kOk);
+    EXPECT_EQ(shared[i].value, enc[i].value.key) << i;
   }
 
   // Implicit rejection still works through the pipeline.
   auto tampered = cts;
   tampered[0][0] ^= 1;
-  const auto rejected = b.decaps_many(keys[1].sk, tampered);
-  EXPECT_NE(rejected[0], enc[0].key);
-  EXPECT_EQ(rejected[1], enc[1].key);
+  const auto rejected = b.decaps_many(keys[1].value.sk, tampered);
+  EXPECT_NE(rejected[0].value, enc[0].value.key);
+  EXPECT_EQ(rejected[1].value, enc[1].value.key);
 }
 
 }  // namespace

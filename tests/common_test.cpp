@@ -4,7 +4,10 @@
 
 #include <atomic>
 #include <iterator>
+#include <new>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/bits.hpp"
@@ -158,6 +161,69 @@ TEST(ThreadPool, BackToBackRunsWithChangingSizes) {
     });
     for (std::size_t i = 0; i < n; ++i) {
       ASSERT_EQ(counts[i].load(), 1u) << "round=" << round << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, RunCaptureMapsExceptionsToTheirIndices) {
+  ThreadPool pool(4);
+  const std::size_t n = 64;
+  std::vector<std::atomic<unsigned>> counts(n);
+  const auto errors = pool.run_capture(n, [&](unsigned, std::size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+    if (i % 5 == 0) throw std::runtime_error("boom " + std::to_string(i));
+  });
+  ASSERT_EQ(errors.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(counts[i].load(), 1u) << i;  // a throwing task still ran
+    if (i % 5 == 0) {
+      ASSERT_TRUE(errors[i]) << i;
+      try {
+        std::rethrow_exception(errors[i]);
+      } catch (const std::runtime_error& e) {
+        EXPECT_EQ(std::string(e.what()), "boom " + std::to_string(i));
+      }
+    } else {
+      EXPECT_FALSE(errors[i]) << i;
+    }
+  }
+}
+
+TEST(ThreadPool, RunRethrowsLowestIndexAfterBatchCompletes) {
+  ThreadPool pool(3);
+  const std::size_t n = 40;
+  std::vector<std::atomic<unsigned>> counts(n);
+  try {
+    pool.run(n, [&](unsigned, std::size_t i) {
+      counts[i].fetch_add(1, std::memory_order_relaxed);
+      if (i == 7 || i == 23) throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "expected run() to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "task 7");
+  }
+  // Failure isolation: every other index still executed exactly once.
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(counts[i].load(), 1u) << i;
+}
+
+TEST(ThreadPool, ThrowingTasksDoNotPoisonTheHandshake) {
+  // Stress the exception path the way BackToBackRunsWithChangingSizes
+  // stresses the clean path: alternating throwing and clean rounds must not
+  // hang, leak a handshake generation, or corrupt later rounds.
+  ThreadPool pool(4);
+  const std::size_t sizes[] = {1, 32, 2, 57, 3, 128};
+  for (std::size_t round = 0; round < 150; ++round) {
+    const std::size_t n = sizes[round % std::size(sizes)];
+    std::vector<std::atomic<unsigned>> counts(n);
+    const bool throwing = round % 2 == 0;
+    const auto errors = pool.run_capture(n, [&](unsigned, std::size_t i) {
+      counts[i].fetch_add(1, std::memory_order_relaxed);
+      if (throwing && i % 3 == 0) throw std::bad_alloc();
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(counts[i].load(), 1u) << "round=" << round << " i=" << i;
+      ASSERT_EQ(static_cast<bool>(errors[i]), throwing && i % 3 == 0)
+          << "round=" << round << " i=" << i;
     }
   }
 }

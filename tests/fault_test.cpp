@@ -2,12 +2,17 @@
 // *sensitive* — a corrupted datapath or memory image cannot slip through the
 // checks the other tests rely on. Each test injects a specific fault and
 // asserts the corresponding detector fires.
+//
+// The injection machinery itself lives in src/robust/ (FaultyHwMultiplier
+// driven by a seedable FaultInjector); these tests exercise it exactly as the
+// old test-local wrapper hack did.
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
 #include "mult/schoolbook.hpp"
 #include "multipliers/hw_multiplier.hpp"
 #include "multipliers/memory_map.hpp"
+#include "robust/faulty_multiplier.hpp"
 #include "saber/kem.hpp"
 
 namespace saber::arch {
@@ -15,41 +20,12 @@ namespace {
 
 constexpr unsigned kQ = 13;
 
-/// Wraps an architecture and flips one coefficient bit in every product —
-/// modeling a single stuck-at fault in the accumulator path.
-class FaultyMultiplier final : public HwMultiplier {
- public:
-  explicit FaultyMultiplier(std::string_view inner) : inner_(make_architecture(inner)) {}
-
-  std::string_view name() const override { return "faulty"; }
-  MultiplierResult multiply(const ring::Poly& a, const ring::SecretPoly& s,
-                            const ring::Poly* accumulate = nullptr) override {
-    auto res = inner_->multiply(a, s, accumulate);
-    res.product[fault_index_] ^= static_cast<u16>(1u << fault_bit_);
-    return res;
-  }
-  const hw::AreaLedger& area() const override { return inner_->area(); }
-  unsigned logic_depth() const override { return inner_->logic_depth(); }
-  u64 headline_cycles() const override { return inner_->headline_cycles(); }
-  bool headline_includes_overhead() const override {
-    return inner_->headline_includes_overhead();
-  }
-
-  void set_fault(std::size_t index, unsigned bit) {
-    fault_index_ = index;
-    fault_bit_ = bit;
-  }
-
- private:
-  std::unique_ptr<HwMultiplier> inner_;
-  std::size_t fault_index_ = 0;
-  unsigned fault_bit_ = 0;
-};
+using robust::FaultyHwMultiplier;
 
 TEST(FaultInjection, SingleBitFaultAlwaysDetectedByReferenceCheck) {
   // Any single-bit accumulator fault must differ from the reference — for
   // every bit position (the check has no blind spots in the coefficient).
-  FaultyMultiplier faulty("hs1-256");
+  FaultyHwMultiplier faulty("hs1-256");
   mult::SchoolbookMultiplier ref;
   Xoshiro256StarStar rng(808);
   const auto a = ring::Poly::random(rng, kQ);
@@ -65,7 +41,7 @@ TEST(FaultInjection, FaultyBackendBreaksTheKemVisibly) {
   // A faulty multiplier inside the KEM produces pk/ct that the correct
   // implementation rejects: decryption failure surfaces as key mismatch.
   // (This is why the cross-backend KEM tests are strong end-to-end checks.)
-  FaultyMultiplier faulty("hs1-256");
+  FaultyHwMultiplier faulty("hs1-256");
   faulty.set_fault(100, 9);  // a high bit: guaranteed to survive rounding
   auto fn_faulty = as_poly_mul(faulty);
 

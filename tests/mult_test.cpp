@@ -224,6 +224,20 @@ TEST(Strategy, FactoryKnowsAllNames) {
   EXPECT_THROW(make_multiplier("karatsuba-x"), ContractViolation);
 }
 
+TEST(Strategy, UnknownNameErrorListsRegisteredMultipliers) {
+  try {
+    make_multiplier("fft");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown multiplier name: fft"), std::string::npos) << msg;
+    for (const auto name : multiplier_names()) {
+      EXPECT_NE(msg.find(std::string(name)), std::string::npos)
+          << "missing " << name << " in: " << msg;
+    }
+  }
+}
+
 TEST(Strategy, PolyMulAdapter) {
   SchoolbookMultiplier sb;
   const auto fn = as_poly_mul(sb);

@@ -19,6 +19,11 @@ cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan
 ctest --test-dir build-asan 2>&1 | tee -a test_output.txt
 
+# Smoke the fault campaign under the sanitizers too (small trial counts):
+# the detect / retry / failover machinery and the architecture fault hooks
+# all execute, and the run fails on any silent corruption.
+./build-asan/bench/bench_fault_campaign --smoke 2>&1 | tee -a test_output.txt
+
 {
   for b in build-release/bench/*; do
     echo "===================================================================="

@@ -60,6 +60,10 @@ class Coprocessor {
   bool fail_flag() const { return fail_; }
   std::size_t memory_bytes() const { return mem_.size(); }
 
+  /// Route a fault hook into the attached multiplier datapath, so coprocessor
+  /// programs run under the same injection campaigns as bare multiplications.
+  void set_fault_hook(hw::FaultHook* hook) { mult_.set_fault_hook(hook); }
+
  private:
   // Region helpers.
   std::span<const u8> view(const Region& r) const;

@@ -33,10 +33,12 @@ void Bram64::tick() {
   // Reads latch pre-write contents (read-first mode). The fault hook sits on
   // the data paths: read data before latching, write data before commit.
   latched_.clear();
+  latched_xor_.clear();
   for (const auto addr : pending_reads_) {
     u64 v = mem_[addr];
     if (fault_hook_) v = fault_hook_->on_bram_read(addr, v);
     latched_.push_back(v);
+    latched_xor_.push_back(v ^ mem_[addr]);
   }
   for (const auto& w : pending_writes_) {
     u64 v = w.value;
@@ -51,6 +53,12 @@ void Bram64::tick() {
 u64 Bram64::read_data(std::size_t i) const {
   SABER_REQUIRE(i < latched_.size(), "BRAM read_data with no such read last cycle");
   return latched_[i];
+}
+
+u64 Bram64::read_fault_xor(std::size_t i) const {
+  SABER_REQUIRE(i < latched_xor_.size(),
+                "BRAM read_fault_xor with no such read last cycle");
+  return latched_xor_[i];
 }
 
 u64 Bram64::peek(std::size_t addr) const {

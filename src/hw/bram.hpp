@@ -44,6 +44,13 @@ class Bram64 {
   u64 read_data(std::size_t i = 0) const;
   std::size_t reads_completed() const { return latched_.size(); }
 
+  /// Bits the fault hook flipped in the i-th read latched last cycle (zero
+  /// when no hook is attached or the hook left the word intact). Lets an
+  /// architecture with a memory-resident accumulator apply a read upset to
+  /// its internal mirror exactly: fault-free this is all-zero, so mirroring
+  /// the XOR is provably a no-op.
+  u64 read_fault_xor(std::size_t i = 0) const;
+
   // Backdoor access for test setup and result extraction (not cycle-counted,
   // does not use the ports).
   u64 peek(std::size_t addr) const;
@@ -85,6 +92,7 @@ class Bram64 {
   std::vector<std::size_t> pending_reads_;
   std::vector<Write> pending_writes_;
   std::vector<u64> latched_;
+  std::vector<u64> latched_xor_;
   u64 reads_ = 0;
   u64 writes_ = 0;
   u64 cycle_ = 0;

@@ -38,6 +38,14 @@ ring::Poly PolyMultiplier::finalize(const Transformed& acc, unsigned qbits) cons
   return fold_negacyclic<ring::kN>(std::span<const i64>(acc), qbits);
 }
 
+std::vector<i64> PolyMultiplier::finalize_witness(const Transformed& acc) const {
+  // Convolution-domain accumulator: the accumulator IS the exact signed
+  // linear convolution, so the witness is a copy.
+  SABER_REQUIRE(acc.size() == 2 * ring::kN - 1,
+                "convolution witness: accumulator length mismatch");
+  return acc;
+}
+
 std::size_t PolyMultiplier::max_accumulated_terms() const {
   // Convolution-domain accumulator: one product contributes at most
   // N * (q/2) * |s|_max <= 2^8 * 2^15 * 2^7 = 2^30 per coefficient, and the

@@ -93,6 +93,17 @@ class PolyMultiplier {
   /// Inverse-transform the accumulator and reduce mod 2^qbits.
   virtual ring::Poly finalize(const Transformed& acc, unsigned qbits) const;
 
+  /// Exact-integer witness of the accumulated product, before any modular
+  /// masking: either the signed linear convolution sum_k a_k * s_k of length
+  /// 2N-1 (convolution and Toom-Cook backends) or the exact negacyclic
+  /// remainder of length N (NTT backend, whose transform domain never holds
+  /// the unfolded convolution). `reduce_witness` turns either form into the
+  /// same polynomial `finalize` would return; the algebraic result checkers
+  /// in src/robust/ verify the witness at a point mod a large prime, which
+  /// is only sound on these pre-mask integers (a masked value mod 2^qbits
+  /// has no black-box point check: the discarded carries are unknown).
+  virtual std::vector<i64> finalize_witness(const Transformed& acc) const;
+
   /// Largest number of products one accumulator may safely absorb before
   /// finalize loses exactness, assuming the worst representable inputs
   /// (qbits <= 16, |s| <= 127). Each backend derives its own bound: the
@@ -127,6 +138,21 @@ ring::PolyT<N> fold_negacyclic(std::span<const i64> conv, unsigned qbits) {
     i64 v = conv[i];
     if (i + N < conv.size()) v -= conv[i + N];
     r[i] = static_cast<u16>(to_twos_complement(v, qbits) & mask64(qbits));
+  }
+  return r;
+}
+
+/// Reduce a finalize_witness() result to the product polynomial: negacyclic
+/// fold for the length-2N-1 convolution form, plain two's-complement masking
+/// for the length-N exact-remainder form. `reduce_witness(finalize_witness(acc))
+/// == finalize(acc)` for every backend (asserted in tests/mult_test.cpp).
+template <std::size_t N>
+ring::PolyT<N> reduce_witness(std::span<const i64> w, unsigned qbits) {
+  if (w.size() == 2 * N - 1) return fold_negacyclic<N>(w, qbits);
+  SABER_REQUIRE(w.size() == N, "witness length is neither 2N-1 nor N");
+  ring::PolyT<N> r;
+  for (std::size_t i = 0; i < N; ++i) {
+    r[i] = static_cast<u16>(to_twos_complement(w[i], qbits) & mask64(qbits));
   }
   return r;
 }

@@ -110,16 +110,28 @@ void NttMultiplier::pointwise_accumulate(Transformed& acc, const Transformed& a,
   ops_.coeff_adds += kN;
 }
 
-ring::Poly NttMultiplier::finalize(const Transformed& acc, unsigned qbits) const {
+std::vector<i64> NttMultiplier::finalize_witness(const Transformed& acc) const {
   SABER_REQUIRE(acc.size() == kN, "accumulator not in the NTT transform domain");
   std::array<u64, kN> v{};
   for (std::size_t i = 0; i < kN; ++i) v[i] = static_cast<u64>(acc[i]);
   inverse(v);
+  // Centered lift without the two's-complement mask: as long as the true
+  // accumulated coefficients stay inside (-p'/2, p'/2) (the same headroom
+  // finalize needs for exactness) this IS the exact integer negacyclic
+  // remainder, length N.
+  std::vector<i64> w(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    w[i] = v[i] > kPrime / 2 ? static_cast<i64>(v[i]) - static_cast<i64>(kPrime)
+                             : static_cast<i64>(v[i]);
+  }
+  return w;
+}
+
+ring::Poly NttMultiplier::finalize(const Transformed& acc, unsigned qbits) const {
+  const auto w = finalize_witness(acc);
   ring::Poly r;
   for (std::size_t i = 0; i < kN; ++i) {
-    const i64 c = v[i] > kPrime / 2 ? static_cast<i64>(v[i]) - static_cast<i64>(kPrime)
-                                    : static_cast<i64>(v[i]);
-    r[i] = static_cast<u16>(to_twos_complement(c, qbits));
+    r[i] = static_cast<u16>(to_twos_complement(w[i], qbits));
   }
   return r;
 }

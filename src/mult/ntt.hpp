@@ -40,6 +40,10 @@ class NttMultiplier final : public PolyMultiplier {
                             const Transformed& s) const override;
   ring::Poly finalize(const Transformed& acc, unsigned qbits) const override;
 
+  /// Exact integer negacyclic remainder (inverse NTT + centered lift,
+  /// no modular mask), length N.
+  std::vector<i64> finalize_witness(const Transformed& acc) const override;
+
   /// One negacyclic product coefficient is bounded by N * (q/2) * |s|_max
   /// <= 2^8 * 2^15 * 2^7 = 2^30, so 2^10 accumulated products stay below the
   /// p'/2 = 2^40 centered-lift headroom even for worst-case i8 secrets

@@ -238,7 +238,7 @@ void ToomCookMultiplier::pointwise_accumulate(Transformed& acc, const Transforme
   ops_.coeff_adds += static_cast<u64>(points_) * (2 * part - 1);
 }
 
-ring::Poly ToomCookMultiplier::finalize(const Transformed& acc, unsigned qbits) const {
+std::vector<i64> ToomCookMultiplier::finalize_witness(const Transformed& acc) const {
   const std::size_t part = part_len();
   const std::size_t padded = padded_len();
   SABER_REQUIRE(acc.size() == static_cast<std::size_t>(points_) * (2 * part - 1),
@@ -261,8 +261,13 @@ ring::Poly ToomCookMultiplier::finalize(const Transformed& acc, unsigned qbits) 
   for (std::size_t i = 2 * ring::kN - 1; i < out.size(); ++i) {
     SABER_ENSURE(out[i] == 0, "padded convolution tail must vanish");
   }
-  return fold_negacyclic<ring::kN>(
-      std::span<const i64>(out.data(), 2 * ring::kN - 1), qbits);
+  out.resize(2 * ring::kN - 1);
+  return out;
+}
+
+ring::Poly ToomCookMultiplier::finalize(const Transformed& acc, unsigned qbits) const {
+  return fold_negacyclic<ring::kN>(std::span<const i64>(finalize_witness(acc)),
+                                   qbits);
 }
 
 ring::Poly ToomCookMultiplier::multiply(const ring::Poly& a, const ring::Poly& b,

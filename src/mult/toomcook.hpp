@@ -44,6 +44,9 @@ class ToomCookMultiplier : public PolyMultiplier {
                             const Transformed& s) const override;
   ring::Poly finalize(const Transformed& acc, unsigned qbits) const override;
 
+  /// The interpolated (pre-fold) linear convolution, length 2N-1.
+  std::vector<i64> finalize_witness(const Transformed& acc) const override;
+
   /// Derived in the constructor from the actual evaluation amplification and
   /// interpolation constants: the largest T for which the interpolation dot
   /// product over T accumulated worst-case point products (qbits <= 16,

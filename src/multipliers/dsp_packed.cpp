@@ -123,6 +123,8 @@ DspPackedMultiplier::Lanes DspPackedMultiplier::pack_multiply(u16 a0, u16 a1, i8
 MultiplierResult DspPackedMultiplier::multiply(const ring::Poly& a,
                                                const ring::SecretPoly& s,
                                                const ring::Poly* accumulate) {
+  SABER_REQUIRE(s.max_magnitude() <= 4,
+                "HS-II packing supports secret magnitudes 0..4 (Saber/FireSaber)");
   MultiplierResult res;
   hw::Bram64 mem(MemoryMap::kTotalWords);
   load_operands(mem, a, s);
@@ -135,31 +137,61 @@ MultiplierResult DspPackedMultiplier::multiply(const ring::Poly& a,
     for (std::size_t j = 0; j < ring::kN; ++j) acc[j] = (*accumulate)[j];
   }
 
+  mem.set_fault_hook(fault_hook_);
+
   auto run_cycle = [&] {
     mem.tick();
     ++st.total;
   };
 
   // --- operand preload (same memory schedule as the 512-MAC design) --------
+  std::vector<u64> sec_words;
+  sec_words.reserve(MemoryMap::kSecretWords);
   for (std::size_t w = 0; w < MemoryMap::kSecretWords; ++w) {
     mem.read(MemoryMap::kSecretBase + w);
     run_cycle();
+    sec_words.push_back(mem.read_data());
   }
   run_cycle();
   st.preload += MemoryMap::kSecretWords + 1;
+  std::vector<u64> pub_words;
+  pub_words.reserve(MemoryMap::kPublicWords);
   for (std::size_t w = 0; w < 13; ++w) {
     mem.read(MemoryMap::kPublicBase + w);
     run_cycle();
+    pub_words.push_back(mem.read_data());
   }
   run_cycle();
   run_cycle();
   st.preload += 14;
   st.stall_public_load += 1;
 
+  // The datapath consumes the latched memory reads, not the caller's
+  // polynomials (see high_speed.cpp): fault-free this is the exact
+  // pack/unpack roundtrip, and a hooked read-port upset propagates into the
+  // DSP operands the way the real design would carry it.
+  const auto sdec =
+      ring::unpack_secret_words<ring::kN>(sec_words, MemoryMap::kSecretBits);
+  auto pub_coeff = [&](std::size_t i) -> u16 {
+    const std::size_t bit = i * kQ;
+    SABER_ENSURE((bit + kQ + 63) / 64 <= pub_words.size(), "public stream underrun");
+    const std::size_t w = bit / 64, off = bit % 64;
+    u64 v = pub_words[w] >> off;
+    if (off + kQ > 64) v |= pub_words[w + 1] << (64 - off);
+    return static_cast<u16>(v & mask64(kQ));
+  };
+
   // --- compute: 128 pipelined DSP cycles + pipeline drain -------------------
   std::vector<hw::Dsp48> dsps(kDsps, hw::Dsp48(pipeline_, spec_.ports));
+  for (auto& dsp : dsps) dsp.set_fault_hook(fault_hook_);
   std::array<i8, ring::kN> b{};
-  for (std::size_t j = 0; j < ring::kN; ++j) b[j] = s[j];
+  for (std::size_t j = 0; j < ring::kN; ++j) {
+    // The packing supports |s| <= 4; a corrupted secret nibble saturates at
+    // the top of that range (cannot happen fault-free: the packed range is
+    // within +-4 for Saber/FireSaber).
+    const i8 v = sdec[j];
+    b[j] = v > 4 ? i8{4} : (v < -4 ? i8{-4} : v);
+  }
 
   std::deque<std::array<LaneMeta, kDsps>> meta_queue;
   std::size_t next_public_word = 13;
@@ -173,23 +205,25 @@ MultiplierResult DspPackedMultiplier::multiply(const ring::Poly& a,
     for (unsigned d = 0; d < kDsps; ++d) {
       const auto lanes = unpack_lanes(dsps[d].p(), metas[d], spec_);
       const std::size_t j0 = 2 * d;
-      acc[j0] = hw::mac_accumulate(acc[j0], lanes.a0s0, false, kQ);
-      acc[j0 + 1] = hw::mac_accumulate(acc[j0 + 1], lanes.cross, false, kQ);
+      acc[j0] = hw::mac_accumulate(acc[j0], lanes.a0s0, false, kQ, fault_hook_);
+      acc[j0 + 1] =
+          hw::mac_accumulate(acc[j0 + 1], lanes.cross, false, kQ, fault_hook_);
       // lane2 targets acc[2d+2]; for the last DSP this wraps negacyclically.
       const bool wrap = j0 + 2 == ring::kN;
-      acc[(j0 + 2) % ring::kN] =
-          hw::mac_accumulate(acc[(j0 + 2) % ring::kN], lanes.a1s1, wrap, kQ);
+      acc[(j0 + 2) % ring::kN] = hw::mac_accumulate(acc[(j0 + 2) % ring::kN],
+                                                    lanes.a1s1, wrap, kQ, fault_hook_);
     }
     res.power.ff_toggles += ring::kN * kQ;
   };
 
   for (std::size_t t = 0; t < input_cycles; ++t) {
-    if (next_public_word < MemoryMap::kPublicWords) {
+    const bool streamed = next_public_word < MemoryMap::kPublicWords;
+    if (streamed) {
       mem.read(MemoryMap::kPublicBase + next_public_word);
       ++next_public_word;
     }
-    const u16 a0 = a[2 * t];
-    const u16 a1 = a[2 * t + 1];
+    const u16 a0 = pub_coeff(2 * t);
+    const u16 a1 = pub_coeff(2 * t + 1);
     std::array<LaneMeta, kDsps> metas;
     for (unsigned d = 0; d < kDsps; ++d) {
       metas[d] = make_meta(a0, a1, b[2 * d], b[2 * d + 1]);
@@ -208,6 +242,7 @@ MultiplierResult DspPackedMultiplier::multiply(const ring::Poly& a,
     res.power.ff_toggles += kDsps * 71 + ring::kN * 4;
     run_cycle();
     ++st.compute;
+    if (streamed) pub_words.push_back(mem.read_data());
   }
   for (unsigned t = 0; t < pipeline_; ++t) {
     for (auto& dsp : dsps) dsp.tick();
@@ -229,13 +264,19 @@ MultiplierResult DspPackedMultiplier::multiply(const ring::Poly& a,
   }
   st.readout += 1 + words.size();
 
-  res.product = out;
   res.power.ff_bits = area_.total().ff;
   res.power.bram_reads = mem.reads();
   res.power.bram_writes = mem.writes();
   for (const auto& dsp : dsps) res.power.dsp_ops += dsp.ops();
   if (trace_memory_) res.mem_trace = mem.trace();
-  SABER_ENSURE(read_result(mem) == out, "memory image disagrees with accumulator");
+  if (fault_hook_ != nullptr) {
+    // A write-port fault legitimately desyncs the internal mirror from the
+    // memory image; the product is what a consumer would read back.
+    res.product = read_result(mem);
+  } else {
+    res.product = out;
+    SABER_ENSURE(read_result(mem) == out, "memory image disagrees with accumulator");
+  }
   return res;
 }
 

@@ -49,28 +49,51 @@ MultiplierResult HighSpeedMultiplier::multiply(const ring::Poly& a,
     for (std::size_t j = 0; j < ring::kN; ++j) acc[j] = (*accumulate)[j];
   }
 
+  mem.set_fault_hook(fault_hook_);
+
   auto run_cycle = [&] {
     mem.tick();
     ++st.total;
   };
 
   // --- secret burst: 16 reads, data lags one cycle -------------------------
+  std::vector<u64> sec_words;
+  sec_words.reserve(MemoryMap::kSecretWords);
   for (std::size_t w = 0; w < MemoryMap::kSecretWords; ++w) {
     mem.read(MemoryMap::kSecretBase + w);
     run_cycle();
+    sec_words.push_back(mem.read_data());
   }
   run_cycle();  // last word's read latency
   st.preload += MemoryMap::kSecretWords + 1;
 
   // --- public preload: first 13-word chunk (64 coefficients) ---------------
+  std::vector<u64> pub_words;
+  pub_words.reserve(MemoryMap::kPublicWords);
   for (std::size_t w = 0; w < 13; ++w) {
     mem.read(MemoryMap::kPublicBase + w);
     run_cycle();
+    pub_words.push_back(mem.read_data());
   }
   run_cycle();  // read latency
   run_cycle();  // stream-alignment cycle (§2.2: "+1 cycle per multiplication")
   st.preload += 14;
   st.stall_public_load += 1;
+
+  // The datapath consumes the words the memory actually returned, not the
+  // caller's polynomials: fault-free the decode is the exact pack/unpack
+  // roundtrip, and with a fault hook attached a read-port upset propagates
+  // into the computation the way the real design would carry it.
+  const auto sdec =
+      ring::unpack_secret_words<ring::kN>(sec_words, MemoryMap::kSecretBits);
+  auto pub_coeff = [&](std::size_t i) -> u16 {
+    const std::size_t bit = i * kQ;
+    SABER_ENSURE((bit + kQ + 63) / 64 <= pub_words.size(), "public stream underrun");
+    const std::size_t w = bit / 64, off = bit % 64;
+    u64 v = pub_words[w] >> off;
+    if (off + kQ > 64) v |= pub_words[w + 1] << (64 - off);
+    return static_cast<u16>(v & mask64(kQ));
+  };
 
   // --- compute --------------------------------------------------------------
   // macs >= 256: `unroll` outer iterations per cycle (one broadcast each);
@@ -79,14 +102,15 @@ MultiplierResult HighSpeedMultiplier::multiply(const ring::Poly& a,
   const unsigned unroll = cfg_.macs >= 256 ? cfg_.macs / 256 : 1;
   const unsigned j_chunks = cfg_.macs >= 256 ? 1 : 256 / cfg_.macs;
   std::array<i8, ring::kN> b{};
-  for (std::size_t j = 0; j < ring::kN; ++j) b[j] = s[j];
+  for (std::size_t j = 0; j < ring::kN; ++j) b[j] = sdec[j];
 
   std::size_t next_public_word = 13;  // words 13..51 stream during compute
   for (std::size_t i = 0; i < ring::kN; i += unroll) {
     for (unsigned chunk = 0; chunk < j_chunks; ++chunk) {
       // Stream the rest of the public polynomial through the read port while
       // the MACs work (read-while-load multiplexer of [10]).
-      if (next_public_word < MemoryMap::kPublicWords) {
+      const bool streamed = next_public_word < MemoryMap::kPublicWords;
+      if (streamed) {
         mem.read(MemoryMap::kPublicBase + next_public_word);
         ++next_public_word;
       }
@@ -94,15 +118,20 @@ MultiplierResult HighSpeedMultiplier::multiply(const ring::Poly& a,
         // Functional update for the whole outer step happens once the last
         // chunk's cycle runs; per-chunk slicing does not change the result.
         for (unsigned u = 0; u < unroll; ++u) {
-          const u16 ai = a[i + u];
+          const u16 ai = pub_coeff(i + u);
           // HS-I: one central multiple generator per broadcast coefficient;
           // baseline: each MAC derives the multiple itself. Functionally
           // equal — the difference is pure area (see build_area).
           const hw::MultipleSet multiples(ai, kQ, cfg_.max_mag);
           for (std::size_t j = 0; j < ring::kN; ++j) {
             const i8 sj = b[j];
-            const unsigned mag = static_cast<unsigned>(sj < 0 ? -sj : sj);
-            acc[j] = hw::mac_accumulate(acc[j], multiples.select(mag), sj < 0, kQ);
+            const unsigned raw_mag = static_cast<unsigned>(sj < 0 ? -sj : sj);
+            // The select mux has max_mag+1 inputs; a corrupted secret nibble
+            // with a larger magnitude saturates at the top input (cannot
+            // happen fault-free: the packed range is within +-max_mag).
+            const unsigned mag = raw_mag > cfg_.max_mag ? cfg_.max_mag : raw_mag;
+            acc[j] = hw::mac_accumulate(acc[j], multiples.select(mag), sj < 0, kQ,
+                                        fault_hook_);
           }
           shift_secret(b);
         }
@@ -111,6 +140,7 @@ MultiplierResult HighSpeedMultiplier::multiply(const ring::Poly& a,
       res.power.ff_toggles += cfg_.macs * kQ + ring::kN * 4 / j_chunks;
       run_cycle();
       ++st.compute;
+      if (streamed) pub_words.push_back(mem.read_data());
     }
   }
 
@@ -126,12 +156,19 @@ MultiplierResult HighSpeedMultiplier::multiply(const ring::Poly& a,
   }
   st.readout += 1 + words.size();
 
-  res.product = out;
   res.power.ff_bits = area_.total().ff;
   res.power.bram_reads = mem.reads();
   res.power.bram_writes = mem.writes();
   if (trace_memory_) res.mem_trace = mem.trace();
-  SABER_ENSURE(read_result(mem) == out, "memory image disagrees with accumulator");
+  if (fault_hook_ != nullptr) {
+    // A write-port fault legitimately desyncs the internal mirror from the
+    // memory image; the product is what the memory holds, because that is
+    // what a consumer of the result would read.
+    res.product = read_result(mem);
+  } else {
+    res.product = out;
+    SABER_ENSURE(read_result(mem) == out, "memory image disagrees with accumulator");
+  }
   return res;
 }
 

@@ -63,8 +63,18 @@ class HwMultiplier {
   /// MultiplierResult::mem_trace.
   void enable_memory_trace() { trace_memory_ = true; }
 
+  /// Route a fault hook into the datapath primitives (BRAM ports, DSP output
+  /// registers, MAC adders) of subsequent multiplications; nullptr detaches.
+  /// While a hook is attached the model consumes operands from the words the
+  /// memory actually returned and reads the product back out of the memory
+  /// array, so an injected upset propagates exactly as far as the real
+  /// datapath would carry it. Decorators override this to forward to the
+  /// wrapped model.
+  virtual void set_fault_hook(hw::FaultHook* hook) { fault_hook_ = hook; }
+
  protected:
   bool trace_memory_ = false;
+  hw::FaultHook* fault_hook_ = nullptr;
 };
 
 /// Adapt an architecture model to the ring::PolyMulFn interface so the full

@@ -50,10 +50,41 @@ MultiplierResult LightweightMultiplier::multiply(const ring::Poly& a,
     store_accumulator(mem, *accumulate);
   }
 
+  mem.set_fault_hook(fault_hook_);
+
   auto& st = res.cycles;
   auto run_cycle = [&] {
     mem.tick();
     ++st.total;
+  };
+
+  // Decode a secret coefficient from a latched 64-bit secret block word. A
+  // corrupted nibble can decode outside the configured range; the select mux
+  // saturates at max_mag (cannot happen fault-free).
+  auto decode_secret = [&](u64 word, unsigned m) -> i8 {
+    const unsigned bits = MemoryMap::kSecretBits;
+    const u64 v = (word >> (m * bits)) & mask64(bits);
+    i64 sv = v >= (u64{1} << (bits - 1)) ? static_cast<i64>(v) - (i64{1} << bits)
+                                         : static_cast<i64>(v);
+    const i64 cap = static_cast<i64>(cfg_.max_mag);
+    if (sv > cap) sv = cap;
+    if (sv < -cap) sv = -cap;
+    return static_cast<i8>(sv);
+  };
+
+  // Apply the bits a hooked read upset flipped in accumulator word `w` to the
+  // mirror coefficients overlapping that word. Fault-free the XOR is zero, so
+  // this is provably a no-op; with a fault it makes the mirror track what the
+  // real datapath would have accumulated on top of the upset word.
+  auto apply_read_xor = [&](std::size_t w, u64 x) {
+    if (x == 0) return;
+    const std::size_t first = (64 * w) / kQ;
+    const std::size_t last = std::min<std::size_t>(kNn - 1, (64 * w + 63) / kQ);
+    for (std::size_t c = first; c <= last; ++c) {
+      const i64 shift = static_cast<i64>(c * kQ) - static_cast<i64>(64 * w);
+      const u64 bits = shift >= 0 ? (x >> shift) : (x << -shift);
+      acc[c] = static_cast<u16>((acc[c] ^ bits) & mask64(kQ));
+    }
   };
 
   // Packed view of the accumulator word `w` from the mirror.
@@ -80,6 +111,7 @@ MultiplierResult LightweightMultiplier::multiply(const ring::Poly& a,
   // negation during shifting is possible from the start.
   mem.read(MemoryMap::kSecretBase + 0);
   run_cycle();
+  u64 sec_word = mem.read_data();  // block 0's latched secret word
   mem.read(MemoryMap::kSecretBase + 15);
   run_cycle();
   run_cycle();  // read latency of the second word
@@ -90,16 +122,32 @@ MultiplierResult LightweightMultiplier::multiply(const ring::Poly& a,
       // Fetch this pass's secret block; the MAC pipeline is paused.
       mem.read(MemoryMap::kSecretBase + block);
       run_cycle();
+      sec_word = mem.read_data();
       run_cycle();
       st.stall_secret_load += 2;
     }
+    // This pass consumes the 16 coefficients of the latched block word.
+    std::array<i8, 16> sblk;
+    for (unsigned m = 0; m < 16; ++m) sblk[m] = decode_secret(sec_word, m);
     // Preload the first two public words of the pass.
+    std::vector<u64> pub_words;
+    pub_words.reserve(MemoryMap::kPublicWords);
     mem.read(MemoryMap::kPublicBase + 0);
     run_cycle();
+    pub_words.push_back(mem.read_data());
     mem.read(MemoryMap::kPublicBase + 1);
     run_cycle();
+    pub_words.push_back(mem.read_data());
     run_cycle();
     st.preload += 3;
+    auto pub_coeff = [&](std::size_t i) -> u16 {
+      const std::size_t bit = i * kQ;
+      SABER_ENSURE((bit + kQ + 63) / 64 <= pub_words.size(), "public stream underrun");
+      const std::size_t w = bit / 64, off = bit % 64;
+      u64 v = pub_words[w] >> off;
+      if (off + kQ > 64) v |= pub_words[w + 1] << (64 - off);
+      return static_cast<u16>(v & mask64(kQ));
+    };
 
     unsigned buffer_bits = 128;
     std::size_t next_public_word = 2;
@@ -108,15 +156,17 @@ MultiplierResult LightweightMultiplier::multiply(const ring::Poly& a,
 
     for (std::size_t i = 0; i < kNn; ++i) {
       // ---- functional update: a[i] times the 16 coefficients of the block.
-      const hw::MultipleSet multiples(a[i], kQ, cfg_.max_mag);
+      // Operands come from the latched memory reads (see high_speed.cpp):
+      // fault-free this is the exact pack/unpack roundtrip.
+      const hw::MultipleSet multiples(pub_coeff(i), kQ, cfg_.max_mag);
       for (unsigned m = 0; m < 16; ++m) {
         const std::size_t c = i + 16 * block + m;
         const std::size_t idx = c % kNn;
         const bool negate = c >= kNn;  // negacyclic wrap (c < 2N always)
-        const i8 sj = s[16 * block + m];
+        const i8 sj = sblk[m];
         const unsigned mag = static_cast<unsigned>(sj < 0 ? -sj : sj);
-        acc[idx] =
-            hw::mac_accumulate(acc[idx], multiples.select(mag), negate != (sj < 0), kQ);
+        acc[idx] = hw::mac_accumulate(acc[idx], multiples.select(mag),
+                                      negate != (sj < 0), kQ, fault_hook_);
       }
 
       // ---- accumulator word list for this coefficient's window.
@@ -142,12 +192,17 @@ MultiplierResult LightweightMultiplier::multiply(const ring::Poly& a,
             std::max(compute, static_cast<unsigned>(words.size()));
         std::size_t wpos = 0;
         for (unsigned cyc = 0; cyc < cycles_i; ++cyc) {
+          bool issued = false;
+          std::size_t issued_word = 0;
           if (wpos < words.size()) {
-            mem.read(MemoryMap::kAccBase + words[wpos]);
-            mem.write(MemoryMap::kAccBase + words[wpos], acc_word(words[wpos]));
+            issued = true;
+            issued_word = words[wpos];
+            mem.read(MemoryMap::kAccBase + issued_word);
+            mem.write(MemoryMap::kAccBase + issued_word, acc_word(issued_word));
             ++wpos;
           }
           run_cycle();
+          if (issued) apply_read_xor(issued_word, mem.read_fault_xor(0));
         }
         st.compute += compute;
         st.stall_accumulator += cycles_i - compute;
@@ -168,8 +223,10 @@ MultiplierResult LightweightMultiplier::multiply(const ring::Poly& a,
           resident.erase(resident.begin());
         }
         for (unsigned cyc = 0; cyc < compute; ++cyc) {
+          std::vector<std::size_t> issued;
           for (unsigned p = 0; p < banks; ++p) {
             if (!pending_reads.empty()) {
+              issued.push_back(pending_reads.front());
               mem.read(MemoryMap::kAccBase + pending_reads.front());
               pending_reads.erase(pending_reads.begin());
             }
@@ -180,6 +237,9 @@ MultiplierResult LightweightMultiplier::multiply(const ring::Poly& a,
             }
           }
           run_cycle();
+          for (std::size_t k = 0; k < issued.size(); ++k) {
+            apply_read_xor(issued[k], mem.read_fault_xor(k));
+          }
         }
         st.compute += compute;
       }
@@ -195,6 +255,7 @@ MultiplierResult LightweightMultiplier::multiply(const ring::Poly& a,
         ++next_public_word;
         buffer_bits += 64;
         run_cycle();
+        pub_words.push_back(mem.read_data());
         st.stall_public_load += 1;
         if (cfg_.macs == 4) {
           run_cycle();
@@ -222,14 +283,20 @@ MultiplierResult LightweightMultiplier::multiply(const ring::Poly& a,
 
   ring::Poly out;
   for (std::size_t j = 0; j < kNn; ++j) out[j] = acc[j];
-  res.product = out;
   res.power.ff_bits = area_.total().ff;
   res.power.bram_reads = mem.reads();
   res.power.bram_writes = mem.writes();
   // The defining LW property: the result is already in memory when the FSM
   // stops — no separate readout phase exists.
   if (trace_memory_) res.mem_trace = mem.trace();
-  SABER_ENSURE(read_result(mem) == out, "memory-resident accumulator mismatch");
+  if (fault_hook_ != nullptr) {
+    // A write-port fault legitimately desyncs the mirror from the memory
+    // image; the product is what a consumer would read back.
+    res.product = read_result(mem);
+  } else {
+    res.product = out;
+    SABER_ENSURE(read_result(mem) == out, "memory-resident accumulator mismatch");
+  }
   return res;
 }
 

@@ -5,6 +5,7 @@
 #include "mult/strategy.hpp"
 #include "multipliers/memory_map.hpp"
 #include "ring/polyvec.hpp"
+#include "robust/algebraic_check.hpp"
 
 namespace saber::robust {
 
@@ -19,10 +20,17 @@ constexpr i64 kSecMagic = 0x5ABE'C4EC'0000'0002LL;
 constexpr i64 kAccMagic = 0x5ABE'C4EC'0000'0003LL;
 
 constexpr std::size_t kNn = ring::kN;
-/// Raw-operand footer of a prepared public/secret: kN coefficients + magic.
-constexpr std::size_t kOperandTail = kNn + 1;
-/// One (a, s) pair embedded in an accumulator.
-constexpr std::size_t kPairLen = 2 * kNn;
+/// Raw-operand footer of a prepared public/secret: kN coefficients, the
+/// operand's evaluation at the shared check point (kFreivalds reads it at
+/// finalize; the others carry it for a layout independent of CheckKind),
+/// and the magic.
+constexpr std::size_t kOperandTail = kNn + 2;
+/// One (a, ea, s, es) pair embedded in an accumulator.
+constexpr std::size_t kPairLen = 2 * kNn + 2;
+// Offsets inside one embedded pair.
+constexpr std::size_t kPairEa = kNn;
+constexpr std::size_t kPairS = kNn + 1;
+constexpr std::size_t kPairEs = 2 * kNn + 1;
 
 ring::Poly unpack_public(std::span<const i64> raw) {
   ring::Poly a;
@@ -69,6 +77,15 @@ std::string_view to_string(CheckPolicy policy) {
   return "?";
 }
 
+std::string_view to_string(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::kReference: return "reference";
+    case CheckKind::kPointEval: return "point-eval";
+    case CheckKind::kFreivalds: return "freivalds";
+  }
+  return "?";
+}
+
 CheckedMultiplier::CheckedMultiplier(std::unique_ptr<mult::PolyMultiplier> inner,
                                      CheckedConfig config,
                                      std::unique_ptr<mult::PolyMultiplier> fallback)
@@ -96,8 +113,54 @@ void CheckedMultiplier::record(FaultRecord::Path path, FaultRecord::Resolution r
   log_.push_back({path, res, qbits});
 }
 
+bool CheckedMultiplier::algebraic_multiply(const ring::Poly& a, const ring::Poly& b,
+                                           unsigned qbits, ring::Poly& product) const {
+  const auto& pc = shared_point_checker();
+  try {
+    // The split pipeline instead of multiply(): same work, but it ends on the
+    // exact-integer witness the point check needs. The verified witness then
+    // folds to the product, so nothing is computed twice.
+    auto acc = inner_->make_accumulator();
+    inner_->pointwise_accumulate(acc, inner_->prepare_public(a, qbits),
+                                 inner_->prepare_public(b, qbits));
+    const auto w = inner_->finalize_witness(acc);
+    if (!pc.verify(pc.eval_public(a, qbits), pc.eval_public(b, qbits),
+                   pc.eval_witness(w))) {
+      return false;
+    }
+    product = mult::reduce_witness<ring::kN>(std::span<const i64>(w), qbits);
+    return true;
+  } catch (const ContractViolation&) {
+    // Corrupted transform state can trip a backend invariant (e.g. Toom-Cook's
+    // exact-division ENSURE) before a witness exists; that is a detection.
+    return false;
+  }
+}
+
 ring::Poly CheckedMultiplier::multiply(const ring::Poly& a, const ring::Poly& b,
                                        unsigned qbits) const {
+  if (config_.kind != CheckKind::kReference) {
+    if (!should_check()) return inner_->multiply(a, b, qbits);
+    ++counters_.checks;
+    ring::Poly product{};
+    if (algebraic_multiply(a, b, qbits, product)) return product;
+    ++counters_.mismatches;
+    const auto reference = fallback_->multiply(a, b, qbits);
+    const auto retried = inner_->multiply(a, b, qbits);
+    if (retried == reference) {
+      ++counters_.retry_recoveries;
+      record(FaultRecord::Path::kMultiply, FaultRecord::Resolution::kRetry, qbits);
+      return retried;
+    }
+    if (fallback_->multiply(a, b, qbits) != reference) {
+      throw FaultDetectedError(
+          "unrecoverable fault: reference backend is inconsistent with itself");
+    }
+    ++counters_.failovers;
+    record(FaultRecord::Path::kMultiply, FaultRecord::Resolution::kFailover, qbits);
+    return reference;
+  }
+
   auto product = inner_->multiply(a, b, qbits);
   if (!should_check()) return product;
 
@@ -130,6 +193,7 @@ mult::Transformed CheckedMultiplier::prepare_public(const ring::Poly& a,
   auto t = inner_->prepare_public(a, qbits);
   t.reserve(t.size() + kOperandTail);
   for (std::size_t i = 0; i < kNn; ++i) t.push_back(a[i]);
+  t.push_back(static_cast<i64>(shared_point_checker().eval_public(a, qbits)));
   t.push_back(kPubMagic);
   return t;
 }
@@ -139,6 +203,7 @@ mult::Transformed CheckedMultiplier::prepare_secret(const ring::SecretPoly& s,
   auto t = inner_->prepare_secret(s, qbits);
   t.reserve(t.size() + kOperandTail);
   for (std::size_t i = 0; i < kNn; ++i) t.push_back(s[i]);
+  t.push_back(static_cast<i64>(shared_point_checker().eval_secret(s)));
   t.push_back(kSecMagic);
   return t;
 }
@@ -180,7 +245,7 @@ ring::Poly CheckedMultiplier::reference_sum(std::span<const i64> pairs,
   ring::Poly sum{};
   for (std::size_t off = 0; off < pairs.size(); off += kPairLen) {
     const auto a = unpack_public(pairs.subspan(off, kNn));
-    const auto s = unpack_secret(pairs.subspan(off + kNn, kNn));
+    const auto s = unpack_secret(pairs.subspan(off + kPairS, kNn));
     ring::add_inplace(sum, fallback_->multiply_secret(a, s, qbits), qbits);
   }
   return sum;
@@ -194,11 +259,41 @@ ring::Poly CheckedMultiplier::inner_recompute(std::span<const i64> pairs,
   auto acc = inner_->make_accumulator();
   for (std::size_t off = 0; off < pairs.size(); off += kPairLen) {
     const auto a = unpack_public(pairs.subspan(off, kNn));
-    const auto s = unpack_secret(pairs.subspan(off + kNn, kNn));
+    const auto s = unpack_secret(pairs.subspan(off + kPairS, kNn));
     inner_->pointwise_accumulate(acc, inner_->prepare_public(a, qbits),
                                  inner_->prepare_secret(s, qbits));
   }
   return inner_->finalize(acc, qbits);
+}
+
+bool CheckedMultiplier::algebraic_finalize(const mult::Transformed& inner_acc,
+                                           std::span<const i64> pairs, unsigned qbits,
+                                           ring::Poly& product) const {
+  const auto& pc = shared_point_checker();
+  try {
+    const auto w = inner_->finalize_witness(inner_acc);
+    // The check is linear in the accumulated terms: sum_k a_k(x0) * s_k(x0)
+    // must equal w(x0). With cached evaluations (kFreivalds) this is the
+    // Freivalds vector check for a matvec row: O(l) modular multiplies plus
+    // one witness evaluation, independent of the backend's transform cost.
+    u64 sum = 0;
+    for (std::size_t off = 0; off < pairs.size(); off += kPairLen) {
+      u64 ea, es;
+      if (config_.kind == CheckKind::kFreivalds) {
+        ea = static_cast<u64>(pairs[off + kPairEa]);
+        es = static_cast<u64>(pairs[off + kPairEs]);
+      } else {
+        ea = pc.eval_public(unpack_public(pairs.subspan(off, kNn)), qbits);
+        es = pc.eval_secret(unpack_secret(pairs.subspan(off + kPairS, kNn)));
+      }
+      sum = pc.add(sum, pc.mul(ea, es));
+    }
+    if (pc.eval_witness(w) != sum) return false;
+    product = mult::reduce_witness<ring::kN>(std::span<const i64>(w), qbits);
+    return true;
+  } catch (const ContractViolation&) {
+    return false;
+  }
 }
 
 ring::Poly CheckedMultiplier::finalize(const mult::Transformed& acc,
@@ -206,6 +301,29 @@ ring::Poly CheckedMultiplier::finalize(const mult::Transformed& acc,
   const auto view = parse_acc(acc);
   const mult::Transformed inner_acc(
       acc.begin(), acc.begin() + static_cast<std::ptrdiff_t>(view.inner_len));
+
+  if (config_.kind != CheckKind::kReference) {
+    if (!should_check()) return inner_->finalize(inner_acc, qbits);
+    ++counters_.checks;
+    ring::Poly product{};
+    if (algebraic_finalize(inner_acc, view.pairs, qbits, product)) return product;
+    ++counters_.mismatches;
+    const auto ref = reference_sum(view.pairs, qbits);
+    const auto retry = inner_recompute(view.pairs, qbits);
+    if (retry == ref) {
+      ++counters_.retry_recoveries;
+      record(FaultRecord::Path::kFinalize, FaultRecord::Resolution::kRetry, qbits);
+      return retry;
+    }
+    if (reference_sum(view.pairs, qbits) != ref) {
+      throw FaultDetectedError(
+          "unrecoverable fault: reference backend is inconsistent with itself");
+    }
+    ++counters_.failovers;
+    record(FaultRecord::Path::kFinalize, FaultRecord::Resolution::kFailover, qbits);
+    return ref;
+  }
+
   auto result = inner_->finalize(inner_acc, qbits);
   if (!should_check()) return result;
 
@@ -260,11 +378,27 @@ bool CheckedHwMultiplier::should_check() {
   return false;
 }
 
+void CheckedHwMultiplier::check_cycles(const hw::CycleStats& cycles) {
+  // The FSMs are data-independent: the headline budget (paper Table 1) and
+  // the first run's total must both be reproduced exactly, fault or no fault.
+  const u64 against = inner_->headline_includes_overhead()
+                          ? cycles.total
+                          : cycles.compute + cycles.pipeline;
+  bool violated = against != inner_->headline_cycles();
+  if (baseline_total_ == 0) {
+    baseline_total_ = cycles.total;
+  } else if (cycles.total != baseline_total_) {
+    violated = true;
+  }
+  if (violated) ++cycle_violations_;
+}
+
 arch::MultiplierResult CheckedHwMultiplier::multiply(const ring::Poly& a,
                                                      const ring::SecretPoly& s,
                                                      const ring::Poly* accumulate) {
   constexpr unsigned kQ = arch::MemoryMap::kQBits;
   auto res = inner_->multiply(a, s, accumulate);
+  check_cycles(res.cycles);
   if (!should_check()) return res;
 
   ++counters_.checks;
@@ -274,6 +408,7 @@ arch::MultiplierResult CheckedHwMultiplier::multiply(const ring::Poly& a,
 
   ++counters_.mismatches;
   auto retried = inner_->multiply(a, s, accumulate);
+  check_cycles(retried.cycles);
   if (retried.product == expected) {
     ++counters_.retry_recoveries;
     log_.push_back({FaultRecord::Path::kHardware, FaultRecord::Resolution::kRetry, kQ});

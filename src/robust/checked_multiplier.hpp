@@ -44,9 +44,29 @@ enum class CheckPolicy : u8 { kOff, kSampled, kFull };
 
 std::string_view to_string(CheckPolicy policy);
 
+/// How a checked product is verified (the *when* is CheckPolicy's job):
+///
+///   kReference  re-derive via the independent reference backend and compare
+///               (~1.12x per multiply; catches anything, bar nothing);
+///   kPointEval  run the inner split pipeline, obtain the exact-integer
+///               witness (PolyMultiplier::finalize_witness) and check
+///               a(x0) * s(x0) == w(x0) mod a ~2^60 prime (~1.01x; the
+///               product is then the fold of the verified witness);
+///   kFreivalds  like kPointEval, but prepared transforms cache their
+///               operand evaluations, so a finalize over an accumulated
+///               matvec row checks sum_j ea_j * es_j == ew with O(l) extra
+///               modular multiplies — the Freivalds vector check.
+///
+/// Either algebraic kind falls back to the reference backend as arbiter the
+/// moment a check fails, so recovery semantics are identical to kReference.
+enum class CheckKind : u8 { kReference, kPointEval, kFreivalds };
+
+std::string_view to_string(CheckKind kind);
+
 struct CheckedConfig {
   CheckPolicy policy = CheckPolicy::kFull;
   std::size_t sample_period = 8;  ///< kSampled: verify every Nth product
+  CheckKind kind = CheckKind::kReference;
 };
 
 /// One detected fault and how it was resolved.
@@ -91,6 +111,16 @@ class CheckedMultiplier final : public mult::PolyMultiplier, public FaultMonitor
   ring::Poly reference_sum(std::span<const i64> pairs, unsigned qbits) const;
   ring::Poly inner_recompute(std::span<const i64> pairs, unsigned qbits) const;
   void record(FaultRecord::Path path, FaultRecord::Resolution res, unsigned qbits) const;
+  /// Algebraic verification of one product via the inner split pipeline.
+  /// Returns false (leaving `product` untouched) when the point check fails
+  /// or the corrupted state trips a backend invariant.
+  bool algebraic_multiply(const ring::Poly& a, const ring::Poly& b, unsigned qbits,
+                          ring::Poly& product) const;
+  /// Algebraic verification of an accumulated row. `pairs` supplies the
+  /// operand evaluations (cached for kFreivalds, recomputed for kPointEval).
+  bool algebraic_finalize(const mult::Transformed& inner_acc,
+                          std::span<const i64> pairs, unsigned qbits,
+                          ring::Poly& product) const;
 
   std::unique_ptr<mult::PolyMultiplier> inner_;
   std::unique_ptr<mult::PolyMultiplier> fallback_;
@@ -128,9 +158,19 @@ class CheckedHwMultiplier final : public arch::HwMultiplier, public FaultMonitor
   bool headline_includes_overhead() const override {
     return inner_->headline_includes_overhead();
   }
+  void set_fault_hook(hw::FaultHook* hook) override { inner_->set_fault_hook(hook); }
+
+  /// Cycle-budget watchdog violations. The architecture FSMs are
+  /// data-independent, so every run must (a) match the paper Table 1 budget
+  /// (`total` when the headline includes overhead, `compute + pipeline`
+  /// otherwise) and (b) take exactly as many total cycles as the first run.
+  /// A datapath fault cannot change control flow, so a nonzero count means
+  /// the *model* broke its timing contract, not that a fault was injected.
+  u64 cycle_violations() const { return cycle_violations_; }
 
  private:
   bool should_check();
+  void check_cycles(const hw::CycleStats& cycles);
 
   std::unique_ptr<arch::HwMultiplier> inner_;
   std::unique_ptr<mult::PolyMultiplier> reference_;
@@ -139,6 +179,8 @@ class CheckedHwMultiplier final : public arch::HwMultiplier, public FaultMonitor
   FaultCounters counters_;
   std::vector<FaultRecord> log_;
   std::size_t sample_clock_ = 0;
+  u64 baseline_total_ = 0;  ///< first run's total cycle count
+  u64 cycle_violations_ = 0;
 };
 
 }  // namespace saber::robust

@@ -21,22 +21,39 @@ void FaultInjector::arm(const FaultSpec& spec) {
   SABER_REQUIRE(spec.bit < 64, "fault bit out of range");
   SABER_REQUIRE(spec.site != FaultSite::kProduct || spec.coeff < ring::kN,
                 "product fault coefficient out of range");
+  const std::lock_guard<std::mutex> lock(mu_);
   specs_.push_back(spec);
+  any_armed_.store(true, std::memory_order_release);
 }
 
 void FaultInjector::disarm(FaultSite site) {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::erase_if(specs_, [&](const FaultSpec& s) { return s.site == site; });
+  any_armed_.store(!specs_.empty(), std::memory_order_release);
 }
 
-void FaultInjector::disarm_all() { specs_.clear(); }
+void FaultInjector::disarm_all() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  specs_.clear();
+  any_armed_.store(false, std::memory_order_release);
+}
 
 void FaultInjector::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
   specs_.clear();
   activations_.clear();
-  for (auto& o : ordinals_) o = 0;
+  for (auto& o : ordinals_) o.store(0, std::memory_order_relaxed);
+  any_armed_.store(false, std::memory_order_release);
 }
 
-u64 FaultInjector::ordinal(FaultSite site) const { return ordinals_[index(site)]; }
+u64 FaultInjector::ordinal(FaultSite site) const {
+  return ordinals_[index(site)].load(std::memory_order_relaxed);
+}
+
+std::vector<FaultEvent> FaultInjector::activations() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return activations_;
+}
 
 u64 FaultInjector::apply_spec(const FaultSpec& spec, u64 ordinal, u64 value) {
   const u64 mask = u64{1} << spec.bit;
@@ -62,7 +79,11 @@ u64 FaultInjector::apply_spec(const FaultSpec& spec, u64 ordinal, u64 value) {
 }
 
 u64 FaultInjector::apply(FaultSite site, u64 value) {
-  const u64 ord = ordinals_[index(site)]++;
+  // Ordinals advance lock-free; the un-armed case (every fault-free cycle of
+  // a hooked architecture) costs one relaxed fetch_add and one atomic load.
+  const u64 ord = ordinals_[index(site)].fetch_add(1, std::memory_order_relaxed);
+  if (!any_armed_.load(std::memory_order_acquire)) return value;
+  const std::lock_guard<std::mutex> lock(mu_);
   for (const auto& spec : specs_) {
     if (spec.site == site) value = apply_spec(spec, ord, value);
   }
@@ -70,7 +91,10 @@ u64 FaultInjector::apply(FaultSite site, u64 value) {
 }
 
 void FaultInjector::corrupt_product(ring::Poly& p, unsigned qbits) {
-  const u64 ord = ordinals_[index(FaultSite::kProduct)]++;
+  const u64 ord =
+      ordinals_[index(FaultSite::kProduct)].fetch_add(1, std::memory_order_relaxed);
+  if (!any_armed_.load(std::memory_order_acquire)) return;
+  const std::lock_guard<std::mutex> lock(mu_);
   for (const auto& spec : specs_) {
     if (spec.site != FaultSite::kProduct) continue;
     const u64 v = apply_spec(spec, ord, p[spec.coeff]);
@@ -78,8 +102,23 @@ void FaultInjector::corrupt_product(ring::Poly& p, unsigned qbits) {
   }
 }
 
+void FaultInjector::corrupt_witness(std::span<i64> w) {
+  const u64 ord =
+      ordinals_[index(FaultSite::kProduct)].fetch_add(1, std::memory_order_relaxed);
+  if (!any_armed_.load(std::memory_order_acquire)) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& spec : specs_) {
+    if (spec.site != FaultSite::kProduct || spec.coeff >= w.size()) continue;
+    // Witness coefficients are pre-mask integers: flip the bit in the raw
+    // two's-complement representation, no modular reduction.
+    const u64 v = apply_spec(spec, ord, static_cast<u64>(w[spec.coeff]));
+    w[spec.coeff] = static_cast<i64>(v);
+  }
+}
+
 FaultSpec FaultInjector::random_product_transient(unsigned qbits, u64 max_ordinal) {
   SABER_REQUIRE(qbits >= 1 && max_ordinal >= 1, "empty campaign space");
+  const std::lock_guard<std::mutex> lock(mu_);
   FaultSpec spec;
   spec.site = FaultSite::kProduct;
   spec.kind = FaultSpec::Kind::kTransient;
@@ -93,6 +132,7 @@ FaultSpec FaultInjector::random_transient(FaultSite site, unsigned width,
                                           u64 max_ordinal) {
   SABER_REQUIRE(width >= 1 && width <= 64 && max_ordinal >= 1,
                 "empty campaign space");
+  const std::lock_guard<std::mutex> lock(mu_);
   FaultSpec spec;
   spec.site = site;
   spec.kind = FaultSpec::Kind::kTransient;

@@ -19,11 +19,23 @@
 //
 // Determinism: every event at a site increments that site's ordinal counter,
 // and the campaign helpers draw from an internal seeded Xoshiro, so a
-// campaign replays bit-for-bit from its seed. Instances are not thread-safe;
-// give each worker its own injector.
+// campaign replays bit-for-bit from its seed.
+//
+// Thread safety: site ordinals are atomic and the spec set / activation log
+// are mutex-guarded, so one injector may be shared by KemBatch worker
+// threads (e.g. to model one physically defective backend that every worker
+// routes through). The un-armed fast path is a single atomic load. Ordinals
+// stay exact under concurrency, but which thread's event receives which
+// ordinal is scheduling-dependent — single-threaded campaigns remain
+// bit-for-bit reproducible, multi-threaded ones are reproducible in
+// aggregate counts only.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <limits>
+#include <mutex>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -94,11 +106,16 @@ class FaultInjector final : public hw::FaultHook {
   /// per product). Used by the software/hardware multiplier wrappers.
   void corrupt_product(ring::Poly& p, unsigned qbits);
 
+  /// Apply every armed kProduct spec to an exact-integer witness (advances
+  /// the kProduct ordinal like corrupt_product). Lets FaultyPolyMultiplier
+  /// corrupt the pre-mask value the algebraic checkers verify.
+  void corrupt_witness(std::span<i64> w);
+
   /// Events seen at a site so far (the next event gets this ordinal).
   u64 ordinal(FaultSite site) const;
 
-  /// Corruptions that actually changed a value.
-  const std::vector<FaultEvent>& activations() const { return activations_; }
+  /// Corruptions that actually changed a value (snapshot).
+  std::vector<FaultEvent> activations() const;
 
   /// Draw a deterministic single-bit transient product fault: uniform
   /// coefficient in [0, kN), bit in [0, qbits), fire ordinal in
@@ -123,9 +140,11 @@ class FaultInjector final : public hw::FaultHook {
   u64 apply_spec(const FaultSpec& spec, u64 ordinal, u64 value);
 
   std::vector<FaultSpec> specs_;
-  u64 ordinals_[kSites] = {};
+  std::array<std::atomic<u64>, kSites> ordinals_{};
   std::vector<FaultEvent> activations_;
   Xoshiro256StarStar rng_;
+  mutable std::mutex mu_;  ///< guards specs_, activations_, rng_
+  std::atomic<bool> any_armed_{false};
 };
 
 }  // namespace saber::robust

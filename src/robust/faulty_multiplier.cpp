@@ -47,6 +47,13 @@ ring::Poly FaultyPolyMultiplier::finalize(const mult::Transformed& acc,
   return p;
 }
 
+std::vector<i64> FaultyPolyMultiplier::finalize_witness(
+    const mult::Transformed& acc) const {
+  auto w = inner_->finalize_witness(acc);
+  injector_->corrupt_witness(w);
+  return w;
+}
+
 std::size_t FaultyPolyMultiplier::max_accumulated_terms() const {
   return inner_->max_accumulated_terms();
 }

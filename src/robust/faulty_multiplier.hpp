@@ -38,6 +38,7 @@ class FaultyPolyMultiplier final : public mult::PolyMultiplier {
   void pointwise_accumulate(mult::Transformed& acc, const mult::Transformed& a,
                             const mult::Transformed& s) const override;
   ring::Poly finalize(const mult::Transformed& acc, unsigned qbits) const override;
+  std::vector<i64> finalize_witness(const mult::Transformed& acc) const override;
   std::size_t max_accumulated_terms() const override;
 
  private:
@@ -73,6 +74,8 @@ class FaultyHwMultiplier final : public arch::HwMultiplier {
   bool headline_includes_overhead() const override {
     return inner_->headline_includes_overhead();
   }
+  /// Forwarded so product-level and datapath-level injection can stack.
+  void set_fault_hook(hw::FaultHook* hook) override { inner_->set_fault_hook(hook); }
 
  private:
   std::unique_ptr<arch::HwMultiplier> inner_;

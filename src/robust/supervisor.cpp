@@ -1,0 +1,328 @@
+#include "robust/supervisor.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "mult/strategy.hpp"
+
+namespace saber::robust {
+
+namespace {
+
+// Magics marking a Transformed as produced by a supervised facade; same
+// family as the checked decorator's magics (see checked_multiplier.cpp).
+constexpr i64 kSupOperandMagic = 0x5ABE'C4EC'0000'0004LL;
+constexpr i64 kSupAccMagic = 0x5ABE'C4EC'0000'0005LL;
+
+// The known-answer probe runs at the hardware modulus the KEM uses.
+constexpr unsigned kProbeQBits = 13;
+
+struct BackendState {
+  BreakerState state = BreakerState::kClosed;
+  u64 confirmed_faults = 0;
+  u64 quarantines = 0;
+  u64 readmissions = 0;
+  u64 probe_failures = 0;
+  u64 calls = 0;
+  u64 routed_around = 0;
+  u64 open_skips = 0;    ///< routed-around calls since the breaker opened
+  u64 probe_passes = 0;  ///< consecutive passes while half-open
+};
+
+}  // namespace
+
+std::string_view to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+struct BackendSupervisor::Shared {
+  std::vector<std::string> names;
+  SupervisorConfig cfg;
+  BackendFactory factory;
+  std::string facade_name;
+  ring::Poly probe_a, probe_b, probe_expected;
+  mutable std::mutex mu;
+  std::vector<BackendState> states;  ///< guarded by mu
+};
+
+namespace {
+
+/// The per-worker facade KemBatch receives. Owns one private checked
+/// instance per backend; shares only the breaker state.
+class SupervisedMultiplier final : public mult::PolyMultiplier, public FaultMonitor {
+ public:
+  explicit SupervisedMultiplier(std::shared_ptr<BackendSupervisor::Shared> shared)
+      : shared_(std::move(shared)) {
+    backends_.reserve(shared_->names.size());
+    for (std::size_t i = 0; i < shared_->names.size(); ++i) {
+      backends_.push_back(
+          std::make_unique<CheckedMultiplier>(shared_->factory(i), shared_->cfg.check));
+    }
+  }
+
+  std::string_view name() const override { return shared_->facade_name; }
+
+  FaultCounters fault_counters() const override {
+    FaultCounters sum;
+    for (const auto& b : backends_) {
+      const auto c = b->fault_counters();
+      sum.checks += c.checks;
+      sum.mismatches += c.mismatches;
+      sum.retry_recoveries += c.retry_recoveries;
+      sum.failovers += c.failovers;
+    }
+    return sum;
+  }
+
+  ring::Poly multiply(const ring::Poly& a, const ring::Poly& b,
+                      unsigned qbits) const override {
+    const std::size_t idx = route();
+    const u64 before = backends_[idx]->fault_counters().mismatches;
+    try {
+      auto p = backends_[idx]->multiply(a, b, qbits);
+      note(idx, backends_[idx]->fault_counters().mismatches - before);
+      return p;
+    } catch (...) {
+      note(idx, backends_[idx]->fault_counters().mismatches - before);
+      throw;
+    }
+  }
+
+  // Split-transform path. A prepared operand / accumulator carries EVERY
+  // backend's transform image, concatenated:
+  //
+  //   t_0 | t_1 | ... | len_0 | len_1 | ... | n_backends | magic
+  //
+  // so the backend choice is deferred to finalize() time: whichever backend
+  // is healthy *then* finalizes its own slice. This is what keeps a KemBatch
+  // alive across a mid-batch quarantine — transforms prepared while backend
+  // 0 was healthy (e.g. the shared public matrix) still combine with
+  // transforms prepared after the breaker opened, because no slice ever has
+  // to be reinterpreted by a different backend. The cost is n_backends x the
+  // prepare/accumulate work and memory; finalize (and its verification) runs
+  // once.
+
+  mult::Transformed prepare_public(const ring::Poly& a, unsigned qbits) const override {
+    return concat([&](const CheckedMultiplier& b) { return b.prepare_public(a, qbits); },
+                  kSupOperandMagic);
+  }
+
+  mult::Transformed prepare_secret(const ring::SecretPoly& s,
+                                   unsigned qbits) const override {
+    return concat([&](const CheckedMultiplier& b) { return b.prepare_secret(s, qbits); },
+                  kSupOperandMagic);
+  }
+
+  mult::Transformed make_accumulator() const override {
+    return concat([](const CheckedMultiplier& b) { return b.make_accumulator(); },
+                  kSupAccMagic);
+  }
+
+  void pointwise_accumulate(mult::Transformed& acc, const mult::Transformed& a,
+                            const mult::Transformed& s) const override {
+    auto accs = split(acc, kSupAccMagic, "not a supervised accumulator");
+    const auto tas = split(a, kSupOperandMagic, "not a supervised public transform");
+    const auto tss = split(s, kSupOperandMagic, "not a supervised secret transform");
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+      backends_[i]->pointwise_accumulate(accs[i], tas[i], tss[i]);
+    }
+    acc = join(accs, kSupAccMagic);
+  }
+
+  ring::Poly finalize(const mult::Transformed& acc, unsigned qbits) const override {
+    const auto accs = split(acc, kSupAccMagic, "not a supervised accumulator");
+    const std::size_t idx = route();
+    const u64 before = backends_[idx]->fault_counters().mismatches;
+    try {
+      auto p = backends_[idx]->finalize(accs[idx], qbits);
+      note(idx, backends_[idx]->fault_counters().mismatches - before);
+      return p;
+    } catch (...) {
+      note(idx, backends_[idx]->fault_counters().mismatches - before);
+      throw;
+    }
+  }
+
+  std::size_t max_accumulated_terms() const override {
+    std::size_t terms = backends_.front()->max_accumulated_terms();
+    for (const auto& b : backends_) {
+      terms = std::min(terms, b->max_accumulated_terms());
+    }
+    return terms;
+  }
+
+ private:
+  /// Build one supervised transform from per-backend images.
+  template <typename Fn>
+  mult::Transformed concat(Fn&& make, i64 magic) const {
+    std::vector<mult::Transformed> parts;
+    parts.reserve(backends_.size());
+    for (const auto& b : backends_) parts.push_back(make(*b));
+    return join(parts, magic);
+  }
+
+  mult::Transformed join(const std::vector<mult::Transformed>& parts, i64 magic) const {
+    std::size_t total = parts.size() + 2;
+    for (const auto& p : parts) total += p.size();
+    mult::Transformed t;
+    t.reserve(total);
+    for (const auto& p : parts) t.insert(t.end(), p.begin(), p.end());
+    for (const auto& p : parts) t.push_back(static_cast<i64>(p.size()));
+    t.push_back(static_cast<i64>(parts.size()));
+    t.push_back(magic);
+    return t;
+  }
+
+  /// Slice a supervised transform back into per-backend images.
+  std::vector<mult::Transformed> split(const mult::Transformed& t, i64 magic,
+                                       const char* what) const {
+    const std::size_t nb = backends_.size();
+    SABER_REQUIRE(t.size() >= nb + 2 && t.back() == magic &&
+                      t[t.size() - 2] == static_cast<i64>(nb),
+                  what);
+    std::vector<mult::Transformed> parts(nb);
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < nb; ++i) {
+      const auto len = static_cast<std::size_t>(t[t.size() - 2 - nb + i]);
+      SABER_REQUIRE(off + len + nb + 2 <= t.size(), "corrupt supervised transform");
+      parts[i].assign(t.begin() + static_cast<std::ptrdiff_t>(off),
+                      t.begin() + static_cast<std::ptrdiff_t>(off + len));
+      off += len;
+    }
+    SABER_REQUIRE(off + nb + 2 == t.size(), "corrupt supervised transform");
+    return parts;
+  }
+
+  /// Advance breaker timers, run due probes, and pick the backend for the
+  /// next operation: the first closed one, or the last backend if none is
+  /// healthy (the checked decorator still guarantees a correct result).
+  std::size_t route() const {
+    const std::lock_guard<std::mutex> lock(shared_->mu);
+    auto& states = shared_->states;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (states[i].state == BreakerState::kOpen &&
+          states[i].open_skips >= shared_->cfg.probe_after) {
+        states[i].state = BreakerState::kHalfOpen;
+      }
+      if (states[i].state == BreakerState::kHalfOpen) probe_locked(i);
+    }
+    std::size_t chosen = states.size() - 1;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (states[i].state == BreakerState::kClosed) {
+        chosen = i;
+        break;
+      }
+    }
+    for (std::size_t i = 0; i < chosen; ++i) {
+      ++states[i].routed_around;
+      ++states[i].open_skips;
+    }
+    return chosen;
+  }
+
+  /// Known-answer self-test on this worker's instance of backend `i`.
+  /// Requires shared_->mu held. Pass = the product is correct AND the
+  /// checked decorator saw no mismatch while computing it.
+  void probe_locked(std::size_t i) const {
+    auto& st = shared_->states[i];
+    const u64 before = backends_[i]->fault_counters().mismatches;
+    bool pass = false;
+    try {
+      const auto p =
+          backends_[i]->multiply(shared_->probe_a, shared_->probe_b, kProbeQBits);
+      pass = backends_[i]->fault_counters().mismatches == before &&
+             p == shared_->probe_expected;
+    } catch (...) {
+      pass = false;
+    }
+    if (pass) {
+      if (++st.probe_passes >= shared_->cfg.probes_to_close) {
+        st.state = BreakerState::kClosed;
+        st.confirmed_faults = 0;
+        st.probe_passes = 0;
+        ++st.readmissions;
+      }
+    } else {
+      ++st.probe_failures;
+      st.state = BreakerState::kOpen;
+      st.open_skips = 0;
+      st.probe_passes = 0;
+    }
+  }
+
+  /// Account a completed operation on backend `idx`; `delta` is the number
+  /// of confirmed (checker-detected) faults it produced.
+  void note(std::size_t idx, u64 delta) const {
+    const std::lock_guard<std::mutex> lock(shared_->mu);
+    auto& st = shared_->states[idx];
+    ++st.calls;
+    st.confirmed_faults += delta;
+    if (st.state == BreakerState::kClosed &&
+        st.confirmed_faults >= shared_->cfg.quarantine_after) {
+      st.state = BreakerState::kOpen;
+      ++st.quarantines;
+      st.open_skips = 0;
+      st.probe_passes = 0;
+    }
+  }
+
+  std::shared_ptr<BackendSupervisor::Shared> shared_;
+  std::vector<std::unique_ptr<CheckedMultiplier>> backends_;
+};
+
+}  // namespace
+
+BackendSupervisor::BackendSupervisor(std::vector<std::string> backend_names,
+                                     SupervisorConfig config, BackendFactory factory) {
+  SABER_REQUIRE(!backend_names.empty(), "at least one backend required");
+  auto sh = std::make_shared<Shared>();
+  sh->names = std::move(backend_names);
+  sh->cfg = config;
+  sh->factory = factory ? std::move(factory)
+                        : [names = sh->names](std::size_t i) {
+                            return mult::make_multiplier(names[i]);
+                          };
+  sh->facade_name = "supervised(";
+  for (std::size_t i = 0; i < sh->names.size(); ++i) {
+    if (i > 0) sh->facade_name += '>';
+    sh->facade_name += sh->names[i];
+  }
+  sh->facade_name += ')';
+  sh->states.resize(sh->names.size());
+  for (std::size_t i = 0; i < ring::kN; ++i) {
+    sh->probe_a[i] = static_cast<u16>((i * 31 + 7) & mask64(kProbeQBits));
+    sh->probe_b[i] = static_cast<u16>((i * 17 + 3) & mask64(kProbeQBits));
+  }
+  sh->probe_expected =
+      mult::make_multiplier("schoolbook")->multiply(sh->probe_a, sh->probe_b,
+                                                    kProbeQBits);
+  shared_ = std::move(sh);
+}
+
+std::shared_ptr<const mult::PolyMultiplier> BackendSupervisor::make_worker_multiplier()
+    const {
+  return std::make_shared<SupervisedMultiplier>(shared_);
+}
+
+std::vector<BackendStatus> BackendSupervisor::status() const {
+  const std::lock_guard<std::mutex> lock(shared_->mu);
+  std::vector<BackendStatus> out;
+  out.reserve(shared_->states.size());
+  for (std::size_t i = 0; i < shared_->states.size(); ++i) {
+    const auto& st = shared_->states[i];
+    out.push_back({shared_->names[i], st.state, st.confirmed_faults, st.quarantines,
+                   st.readmissions, st.probe_failures, st.calls, st.routed_around});
+  }
+  return out;
+}
+
+std::string_view BackendSupervisor::name() const { return shared_->facade_name; }
+
+const SupervisorConfig& BackendSupervisor::config() const { return shared_->cfg; }
+
+}  // namespace saber::robust

@@ -51,7 +51,9 @@ void CentralizedCoreRtl::step(u16 ai) {
     const auto mag = static_cast<unsigned>(sj < 0 ? -sj : sj);
     SABER_ENSURE(mag <= 4, "secret register outside the modeled range");
     const u64 mult = select_[j]->eval(multiples, mag);
-    acc_regs_[j]->set_next(accum_[j]->eval(acc_regs_[j]->q(), mult, sj < 0));
+    u64 sum = accum_[j]->eval(acc_regs_[j]->q(), mult, sj < 0);
+    if (hook_ != nullptr) sum = hook_->on_mac_accumulate(static_cast<u16>(sum), kQ);
+    acc_regs_[j]->set_next(sum);
   }
   // Negacyclic shift: b <- b * x (sec[j] <- sec[j-1], sec[0] <- -sec[255]).
   for (unsigned j = kMacs - 1; j > 0; --j) {
@@ -85,10 +87,16 @@ void CentralizedCoreRtl::step2(u16 a0, u16 a1) {
     const auto mag0 = static_cast<unsigned>(s0 < 0 ? -s0 : s0);
     const auto mag1 = static_cast<unsigned>(s1_raw < 0 ? -s1_raw : s1_raw);
     // Three-way accumulation as two add/sub ranks.
-    const u64 first =
+    u64 first =
         accum_[j]->eval(acc_regs_[j]->q(), select_[j]->eval(mult0, mag0), s0 < 0);
-    const u64 second =
+    if (hook_ != nullptr) {
+      first = hook_->on_mac_accumulate(static_cast<u16>(first), kQ);
+    }
+    u64 second =
         accum2_[j]->eval(first, select2_[j]->eval(mult1, mag1), s1_raw < 0);
+    if (hook_ != nullptr) {
+      second = hook_->on_mac_accumulate(static_cast<u16>(second), kQ);
+    }
     acc_regs_[j]->set_next(second);
   }
   // Shift the secret register by x^2.
@@ -192,7 +200,9 @@ void LightweightCoreRtl::step(std::array<u16, kMacs>& acc_window, unsigned phase
     SABER_REQUIRE(mag <= 4, "LW RTL core models the Saber range");
     const u64 mult = select_[m]->eval(multiples, mag);
     const bool subtract = (sj < 0) != negacyclic[m];
-    acc_window[m] = static_cast<u16>(accum_[m]->eval(acc_window[m], mult, subtract));
+    u64 sum = accum_[m]->eval(acc_window[m], mult, subtract);
+    if (hook_ != nullptr) sum = hook_->on_mac_accumulate(static_cast<u16>(sum), kQ);
+    acc_window[m] = static_cast<u16>(sum);
   }
 }
 

@@ -19,6 +19,7 @@
 #include <array>
 
 #include "hw/dsp48.hpp"
+#include "hw/fault_hook.hpp"
 #include "ring/poly.hpp"
 #include "rtl/primitives.hpp"
 
@@ -54,9 +55,14 @@ class CentralizedCoreRtl {
   const Netlist& netlist() const { return netlist_; }
   u64 cycles() const { return cycles_; }
 
+  /// Install a fault hook on the MAC accumulate outputs (same site the FSM
+  /// models expose); null disables injection.
+  void set_fault_hook(hw::FaultHook* hook) { hook_ = hook; }
+
  private:
   Netlist netlist_;
   unsigned unroll_;
+  hw::FaultHook* hook_ = nullptr;
   // Central generators (one per broadcast coefficient).
   std::vector<Adder*> gen3a_;
   // Per-MAC elements (pointers into the netlist); the second rank exists
@@ -111,8 +117,12 @@ class LightweightCoreRtl {
   /// structure, the RTL arithmetic); used for equivalence testing.
   ring::Poly multiply(const ring::Poly& a, const ring::SecretPoly& s);
 
+  /// Install a fault hook on the MAC accumulate outputs.
+  void set_fault_hook(hw::FaultHook* hook) { hook_ = hook; }
+
  private:
   Netlist netlist_;
+  hw::FaultHook* hook_ = nullptr;
   Register* secret_block_ = nullptr;   // 64 b, current block
   Register* secret_last_ = nullptr;    // 64 b, last block (wrap support)
   Register* pub_low_ = nullptr;        // 64 b
@@ -148,6 +158,9 @@ class DspLaneRtl {
   Lanes compute(u16 a0, u16 a1, i8 s0, i8 s1);
 
   const Netlist& netlist() const { return netlist_; }
+
+  /// Install a fault hook on the embedded DSP slice's output.
+  void set_fault_hook(hw::FaultHook* hook) { dsp_.set_fault_hook(hook); }
 
  private:
   Netlist netlist_;

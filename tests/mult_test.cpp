@@ -3,6 +3,7 @@
 // Toom-Cook-4 and the NTT must agree with it bit-for-bit on every modulus.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <tuple>
 
 #include "common/rng.hpp"
@@ -245,6 +246,51 @@ TEST(Strategy, PolyMulAdapter) {
   const auto a = Poly::random(rng, 13);
   const auto s = SecretPoly::random(rng, 4);
   EXPECT_EQ(fn(a, s, 13), sb.multiply_secret(a, s, 13));
+}
+
+// ------------------------------------------- exact-integer product witnesses
+
+// finalize_witness() is the foundation of the algebraic result checkers in
+// src/robust/: its reduce must agree with finalize() for every backend, and
+// its length must be one of the two documented forms.
+TEST(Witness, ReducesToFinalizeForEveryBackendAndModulus) {
+  Xoshiro256StarStar rng(777);
+  for (const auto name : {"schoolbook", "karatsuba-8", "toom3", "toom4", "ntt"}) {
+    const auto algo = make_multiplier(name);
+    for (const unsigned qbits : {10u, 13u}) {
+      const auto a = Poly::random(rng, qbits);
+      const auto s = SecretPoly::random(rng, 4);
+      auto acc = algo->make_accumulator();
+      algo->pointwise_accumulate(acc, algo->prepare_public(a, qbits),
+                                 algo->prepare_secret(s, qbits));
+      const auto w = algo->finalize_witness(acc);
+      EXPECT_TRUE(w.size() == 2 * kN - 1 || w.size() == kN)
+          << name << " witness length " << w.size();
+      EXPECT_EQ(reduce_witness<kN>(std::span<const i64>(w), qbits),
+                algo->finalize(acc, qbits))
+          << name << " q=" << qbits;
+    }
+  }
+}
+
+TEST(Witness, AccumulatedMatvecRowWitnessIsExact) {
+  // An l = 3 accumulated row, the shape Saber's matrix-vector product builds.
+  Xoshiro256StarStar rng(778);
+  SchoolbookMultiplier ref;
+  for (const auto name : {"toom4", "ntt", "karatsuba-4"}) {
+    const auto algo = make_multiplier(name);
+    Poly expect{};
+    auto acc = algo->make_accumulator();
+    for (int j = 0; j < 3; ++j) {
+      const auto a = Poly::random(rng, 13);
+      const auto s = SecretPoly::random(rng, 4);
+      algo->pointwise_accumulate(acc, algo->prepare_public(a, 13),
+                                 algo->prepare_secret(s, 13));
+      ring::add_inplace(expect, ref.multiply_secret(a, s, 13), 13);
+    }
+    const auto w = algo->finalize_witness(acc);
+    EXPECT_EQ(reduce_witness<kN>(std::span<const i64>(w), 13), expect) << name;
+  }
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
 
 #include "common/rng.hpp"
 #include "hw/bram.hpp"
@@ -18,6 +19,8 @@
 #include "mult/batch.hpp"
 #include "mult/schoolbook.hpp"
 #include "mult/strategy.hpp"
+#include "multipliers/hw_multiplier.hpp"
+#include "robust/algebraic_check.hpp"
 #include "robust/checked_multiplier.hpp"
 #include "robust/fault_injector.hpp"
 #include "robust/faulty_multiplier.hpp"
@@ -473,6 +476,311 @@ TEST(KemBatchIsolation, CheckedFaultyWorkersRecoverEveryItemBitExactly) {
     EXPECT_TRUE(got[i].ok());
     EXPECT_EQ(got[i].value, expect[i].value) << i;
   }
+}
+
+TEST(FaultInjector, OrdinalCountsAreExactUnderConcurrency) {
+  FaultInjector inj;
+  // Armed (so the mutex-guarded spec path runs) but never firing.
+  inj.arm({FaultSite::kMacAccumulate, FaultSpec::Kind::kTransient, /*bit=*/0,
+           true, /*fire_at=*/u64{1} << 40, 1, 0});
+  constexpr int kThreads = 4;
+  constexpr int kPer = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&inj] {
+      for (int i = 0; i < kPer; ++i) inj.apply(FaultSite::kMacAccumulate, 7);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(inj.ordinal(FaultSite::kMacAccumulate),
+            static_cast<u64>(kThreads) * kPer);
+  EXPECT_TRUE(inj.activations().empty());
+}
+
+// --- point-evaluation checker ----------------------------------------------
+
+TEST(PointChecker, PointIsARootOfXNPlusOne) {
+  const auto& pc = shared_point_checker();
+  EXPECT_GT(pc.prime(), u64{1} << 60);
+  // x0^N == -1 (mod P): evaluation at x0 respects the negacyclic quotient,
+  // so both witness forms (length 2N-1 and length N) check identically.
+  u64 x_pow_n = 1;
+  for (std::size_t i = 0; i < ring::kN; ++i) x_pow_n = pc.mul(x_pow_n, pc.point());
+  EXPECT_EQ(x_pow_n, pc.prime() - 1);
+}
+
+TEST(PointChecker, AcceptsTrueProductsCatchesSingleCoefficientDefects) {
+  Xoshiro256StarStar rng(910);
+  const auto& pc = shared_point_checker();
+  mult::SchoolbookMultiplier sb;
+  const auto a = ring::Poly::random(rng, kQ);
+  const auto s = ring::SecretPoly::random(rng, 4);
+  auto acc = sb.make_accumulator();
+  sb.pointwise_accumulate(acc, sb.prepare_public(a, kQ), sb.prepare_secret(s, kQ));
+  const auto w = sb.finalize_witness(acc);
+  ASSERT_EQ(w.size(), 2 * ring::kN - 1);
+  const u64 ea = pc.eval_public(a, kQ);
+  const u64 es = pc.eval_secret(s);
+  EXPECT_TRUE(pc.verify(ea, es, pc.eval_witness(std::span<const i64>(w))));
+
+  // Single-coefficient defects (the injected fault model) are always caught:
+  // d = c * x^i with 0 < |c| < P cannot vanish at x0 mod a prime.
+  for (std::size_t i = 0; i < w.size(); i += 37) {
+    for (const i64 delta : {i64{1}, i64{-1}, i64{1} << 12, -(i64{1} << 40)}) {
+      auto defect = w;
+      defect[i] += delta;
+      EXPECT_FALSE(
+          pc.verify(ea, es, pc.eval_witness(std::span<const i64>(defect))))
+          << "coeff " << i << " delta " << delta;
+    }
+  }
+
+  // Defects divisible by x^N + 1 fold away in reduce_witness — they leave the
+  // product untouched, and the checker (soundly) accepts them.
+  auto folded = w;
+  folded[0] += 5;
+  folded[ring::kN] += 5;  // adds 5 * (x^N + 1): zero mod the ring modulus
+  EXPECT_TRUE(pc.verify(ea, es, pc.eval_witness(std::span<const i64>(folded))));
+  EXPECT_EQ(mult::reduce_witness<ring::kN>(std::span<const i64>(folded), kQ),
+            mult::reduce_witness<ring::kN>(std::span<const i64>(w), kQ));
+}
+
+// --- algebraic check kinds (point-eval / Freivalds) -------------------------
+
+TEST(CheckedMultiplier, AlgebraicKindsBitIdenticalToRawWhenFaultFree) {
+  Xoshiro256StarStar rng(920);
+  for (const CheckKind kind : {CheckKind::kPointEval, CheckKind::kFreivalds}) {
+    for (const auto name : {"schoolbook", "karatsuba-8", "toom3", "toom4", "ntt"}) {
+      const auto raw = mult::make_multiplier(name);
+      const auto checked = make_checked(name, {CheckPolicy::kFull, 8, kind});
+      for (int iter = 0; iter < 3; ++iter) {
+        const auto a = ring::Poly::random(rng, kQ);
+        const auto b = ring::Poly::random(rng, kQ);
+        EXPECT_EQ(checked->multiply(a, b, kQ), raw->multiply(a, b, kQ))
+            << name << " " << to_string(kind);
+      }
+      const auto s = ring::SecretPoly::random(rng, 4);
+      const auto a = ring::Poly::random(rng, kQ);
+      EXPECT_EQ(checked->multiply_secret(a, s, kQ), raw->multiply_secret(a, s, kQ))
+          << name << " " << to_string(kind);
+      EXPECT_GE(checked->fault_counters().checks, 4u);
+      EXPECT_EQ(checked->fault_counters().mismatches, 0u)
+          << name << " " << to_string(kind);
+    }
+  }
+}
+
+TEST(CheckedMultiplier, AlgebraicSplitPathMatchesRawMatvec) {
+  Xoshiro256StarStar rng(921);
+  for (const CheckKind kind : {CheckKind::kPointEval, CheckKind::kFreivalds}) {
+    const std::size_t l = 3;
+    const auto a = random_matrix(l, rng, kQ);
+    const auto s = random_secrets(l, rng, 4);
+    const auto raw = mult::make_multiplier("toom4");
+    const auto checked = make_checked("toom4", {CheckPolicy::kFull, 8, kind});
+    EXPECT_EQ(mult::matrix_vector_mul(a, s, *checked, kQ, false),
+              mult::matrix_vector_mul(a, s, *raw, kQ, false))
+        << to_string(kind);
+    EXPECT_GE(checked->fault_counters().checks, l);
+    EXPECT_EQ(checked->fault_counters().mismatches, 0u) << to_string(kind);
+  }
+}
+
+TEST(CheckedMultiplier, AlgebraicKindsDetectAndRetryTransientWitnessFaults) {
+  Xoshiro256StarStar rng(922);
+  mult::SchoolbookMultiplier ref;
+  for (const CheckKind kind : {CheckKind::kPointEval, CheckKind::kFreivalds}) {
+    auto inj = std::make_shared<FaultInjector>(17);
+    inj->arm(inj->random_product_transient(kQ, /*max_ordinal=*/1));
+    CheckedMultiplier checked(
+        std::make_unique<FaultyPolyMultiplier>(mult::make_multiplier("toom4"), inj),
+        {CheckPolicy::kFull, 8, kind});
+    const auto a = ring::Poly::random(rng, kQ);
+    const auto s = ring::SecretPoly::random(rng, 4);
+    EXPECT_EQ(checked.multiply_secret(a, s, kQ), ref.multiply_secret(a, s, kQ))
+        << to_string(kind);
+    EXPECT_EQ(checked.fault_counters().mismatches, 1u) << to_string(kind);
+    EXPECT_EQ(checked.fault_counters().retry_recoveries, 1u) << to_string(kind);
+  }
+}
+
+TEST(CheckedMultiplier, AlgebraicKindsFailOverOnPermanentFaults) {
+  Xoshiro256StarStar rng(923);
+  mult::SchoolbookMultiplier ref;
+  for (const CheckKind kind : {CheckKind::kPointEval, CheckKind::kFreivalds}) {
+    auto inj = injector_with(FaultSpec::permanent_flip(FaultSite::kProduct, 6, 41));
+    CheckedMultiplier checked(
+        std::make_unique<FaultyPolyMultiplier>(mult::make_multiplier("toom4"), inj),
+        {CheckPolicy::kFull, 8, kind});
+    const auto a = ring::Poly::random(rng, kQ);
+    const auto s = ring::SecretPoly::random(rng, 4);
+    EXPECT_EQ(checked.multiply_secret(a, s, kQ), ref.multiply_secret(a, s, kQ))
+        << to_string(kind);
+    EXPECT_EQ(checked.fault_counters().mismatches, 1u) << to_string(kind);
+    EXPECT_EQ(checked.fault_counters().failovers, 1u) << to_string(kind);
+  }
+}
+
+TEST(CheckedMultiplier, AlgebraicFinalizeDetectsAccumulatedRowFaults) {
+  Xoshiro256StarStar rng(924);
+  for (const CheckKind kind : {CheckKind::kPointEval, CheckKind::kFreivalds}) {
+    auto inj = injector_with({FaultSite::kProduct, FaultSpec::Kind::kTransient,
+                              /*bit=*/3, true, /*fire_at=*/0, 1, /*coeff=*/8});
+    CheckedMultiplier checked(
+        std::make_unique<FaultyPolyMultiplier>(mult::make_multiplier("ntt"), inj),
+        {CheckPolicy::kFull, 8, kind});
+    const auto raw = mult::make_multiplier("ntt");
+    const std::size_t l = 3;
+    const auto a = random_matrix(l, rng, kQ);
+    const auto s = random_secrets(l, rng, 4);
+    EXPECT_EQ(mult::matrix_vector_mul(a, s, checked, kQ, false),
+              mult::matrix_vector_mul(a, s, *raw, kQ, false))
+        << to_string(kind);
+    EXPECT_EQ(checked.fault_counters().mismatches, 1u) << to_string(kind);
+    EXPECT_EQ(checked.fault_counters().retry_recoveries, 1u) << to_string(kind);
+    ASSERT_GE(checked.fault_log().size(), 1u);
+    EXPECT_EQ(checked.fault_log()[0].path, FaultRecord::Path::kFinalize);
+  }
+}
+
+// --- architecture-routed fault campaigns ------------------------------------
+
+TEST(ArchFaultCampaign, SiteFaultsAreDetectedAndRecoveredNeverSilent) {
+  Xoshiro256StarStar rng(5050);
+  mult::SchoolbookMultiplier ref;
+  struct SiteCase {
+    FaultSite site;
+    unsigned width;
+  };
+  for (const std::string arch : {"hs1-256", "hs2", "lw4"}) {
+    std::vector<SiteCase> sites = {{FaultSite::kBramRead, 64},
+                                   {FaultSite::kBramWrite, 64},
+                                   {FaultSite::kMacAccumulate, kQ}};
+    if (arch == "hs2") sites.push_back({FaultSite::kDspOutput, 42});
+    for (const auto& sc : sites) {
+      const auto a = ring::Poly::random(rng, kQ);
+      const auto s = ring::SecretPoly::random(rng, 4);
+      const auto expect = ref.multiply_secret(a, s, kQ);
+
+      // Count the site's events during one multiplication (clean injector).
+      FaultInjector probe;
+      {
+        auto m = arch::make_architecture(arch);
+        m->set_fault_hook(&probe);
+        ASSERT_EQ(m->multiply(a, s).product, expect) << arch;
+      }
+      const u64 events = probe.ordinal(sc.site);
+      ASSERT_GT(events, 0u) << arch << " " << to_string(sc.site);
+
+      for (int trial = 0; trial < 4; ++trial) {
+        FaultInjector draw(static_cast<u64>(trial) * 77 + 5);
+        const auto spec = draw.random_transient(sc.site, sc.width, events);
+
+        // Classification run: does this fault corrupt the unchecked product?
+        FaultInjector cls;
+        cls.arm(spec);
+        auto unchecked = arch::make_architecture(arch);
+        unchecked->set_fault_hook(&cls);
+        const bool effective = unchecked->multiply(a, s).product != expect;
+
+        // Checked run: the same fault must be caught and repaired.
+        FaultInjector inj;
+        inj.arm(spec);
+        CheckedHwMultiplier checked(arch::make_architecture(arch));
+        checked.set_fault_hook(&inj);
+        const auto res = checked.multiply(a, s);
+        // The acceptance bar: zero silent corruptions, ever.
+        EXPECT_EQ(res.product, expect)
+            << arch << " " << to_string(sc.site) << " trial " << trial;
+        if (effective) {
+          EXPECT_GE(checked.fault_counters().mismatches, 1u)
+              << arch << " " << to_string(sc.site) << " trial " << trial;
+          EXPECT_GE(checked.fault_counters().recoveries(), 1u)
+              << arch << " " << to_string(sc.site) << " trial " << trial;
+        } else {
+          EXPECT_EQ(checked.fault_counters().mismatches, 0u)
+              << arch << " " << to_string(sc.site) << " trial " << trial;
+        }
+        EXPECT_EQ(checked.cycle_violations(), 0u);
+      }
+    }
+  }
+}
+
+TEST(CycleWatchdog, ArchitecturesReproduceTheirHeadlineBudgets) {
+  // The multiplier FSMs are data-independent: every run must land exactly on
+  // the paper's Table 1 budget, and repeat runs must not drift a cycle.
+  Xoshiro256StarStar rng(5151);
+  for (const auto name :
+       {"lw4", "lw8", "lw16", "hs1-256", "hs1-512", "hs2", "baseline-256",
+        "baseline-512"}) {
+    CheckedHwMultiplier checked(arch::make_architecture(name),
+                                {CheckPolicy::kOff, 8, CheckKind::kReference});
+    for (int i = 0; i < 2; ++i) {
+      const auto a = ring::Poly::random(rng, kQ);
+      const auto s = ring::SecretPoly::random(rng, 4);
+      checked.multiply(a, s);
+    }
+    EXPECT_EQ(checked.cycle_violations(), 0u) << name;
+  }
+}
+
+TEST(KemBatchIsolation, MixedOutcomesStayIsolatedPerItem) {
+  // One malformed ciphertext fails alone, one transient-struck item recovers,
+  // the rest complete clean — and the counters line up with the statuses.
+  std::vector<batch::KeygenRequest> reqs(1);
+  Xoshiro256StarStar rng(6003);
+  rng.fill(reqs[0].seed_a);
+  rng.fill(reqs[0].seed_s);
+  rng.fill(reqs[0].z);
+  std::vector<kem::Message> msgs(5);
+  for (auto& msg : msgs) rng.fill(msg);
+
+  batch::KemBatch clean(kem::kSaber, "toom4", 2);
+  const auto keys = clean.keygen_many(reqs);
+  const auto enc = clean.encaps_many(keys[0].value.pk, msgs);
+  std::vector<std::vector<u8>> cts;
+  for (const auto& e : enc) cts.push_back(e.value.ct);
+  const auto expect = clean.decaps_many(keys[0].value.sk, cts);
+  cts[1].resize(8);  // malformed: truncated ciphertext
+
+  auto inj = std::make_shared<FaultInjector>(55);
+  inj->arm({FaultSite::kProduct, FaultSpec::Kind::kTransient, /*bit=*/3, true,
+            /*fire_at=*/1, 1, /*coeff=*/12});
+  std::vector<std::shared_ptr<const CheckedMultiplier>> monitors;
+  batch::KemBatch b(
+      kem::kSaber,
+      [&] {
+        auto checked = std::make_shared<CheckedMultiplier>(
+            std::make_unique<FaultyPolyMultiplier>(mult::make_multiplier("toom4"),
+                                                   inj));
+        monitors.push_back(checked);
+        return std::shared_ptr<const mult::PolyMultiplier>(checked);
+      },
+      2);
+  const auto got = b.decaps_many(keys[0].value.sk, cts);
+  ASSERT_EQ(got.size(), 5u);
+  int ok = 0, recovered = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (i == 1) {
+      EXPECT_EQ(got[i].status, batch::ItemStatus::kFailed);
+      EXPECT_TRUE(std::ranges::all_of(got[i].value, [](u8 v) { return v == 0; }));
+      continue;
+    }
+    EXPECT_TRUE(got[i].ok()) << i;
+    EXPECT_EQ(got[i].value, expect[i].value) << i;
+    if (got[i].status == batch::ItemStatus::kOk) ++ok;
+    if (got[i].status == batch::ItemStatus::kRecovered) ++recovered;
+  }
+  EXPECT_EQ(recovered, 1);  // the transient struck exactly one item
+  EXPECT_EQ(ok, 3);
+  u64 mismatches = 0, recoveries = 0;
+  for (const auto& m : monitors) {
+    mismatches += m->fault_counters().mismatches;
+    recoveries += m->fault_counters().recoveries();
+  }
+  EXPECT_EQ(mismatches, 1u);
+  EXPECT_EQ(recoveries, 1u);
 }
 
 TEST(KemBatchIsolation, FactoryMismatchIsRejected) {

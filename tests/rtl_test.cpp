@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "hw/fault_hook.hpp"
 #include "mult/schoolbook.hpp"
 #include "multipliers/dsp_packed.hpp"
 #include "multipliers/high_speed.hpp"
@@ -263,6 +264,74 @@ TEST(RtlLightweight, RegisterBudgetMatchesFsmLedger) {
 }
 
 // ------------------------------------------------------------- HS-II lane
+
+// ------------------------------------------------------------- fault hooks
+
+// Minimal deterministic hooks (the full injector lives in src/robust/; these
+// keep the RTL tests free of that dependency).
+struct FlipMacOnce final : hw::FaultHook {
+  unsigned bit;
+  u64 fire_at;
+  u64 seen = 0;
+  FlipMacOnce(unsigned b, u64 f) : bit(b), fire_at(f) {}
+  u16 on_mac_accumulate(u16 value, unsigned qbits) override {
+    const u16 out = seen == fire_at
+                        ? static_cast<u16>((value ^ (u64{1} << bit)) & mask64(qbits))
+                        : value;
+    ++seen;
+    return out;
+  }
+};
+
+struct FlipDspAlways final : hw::FaultHook {
+  i64 on_dsp_output(i64 value) override { return value ^ 1; }
+};
+
+TEST(RtlFaultHooks, MacUpsetInCentralizedCorePropagatesToProduct) {
+  Xoshiro256StarStar rng(520);
+  const auto a = ring::Poly::random(rng, 13);
+  const auto s = ring::SecretPoly::random(rng, 4);
+  mult::SchoolbookMultiplier ref;
+  const auto expect = ref.multiply_secret(a, s, 13);
+
+  CentralizedCoreRtl core;
+  FlipMacOnce hook(/*bit=*/3, /*fire_at=*/1000);
+  core.set_fault_hook(&hook);
+  EXPECT_NE(core.multiply(a, s), expect);
+  EXPECT_GT(hook.seen, 1000u);
+  core.set_fault_hook(nullptr);
+  EXPECT_EQ(core.multiply(a, s), expect);  // transient gone, next run clean
+}
+
+TEST(RtlFaultHooks, MacUpsetInLightweightCorePropagatesToProduct) {
+  Xoshiro256StarStar rng(521);
+  const auto a = ring::Poly::random(rng, 13);
+  const auto s = ring::SecretPoly::random(rng, 4);
+  mult::SchoolbookMultiplier ref;
+  const auto expect = ref.multiply_secret(a, s, 13);
+
+  LightweightCoreRtl core;
+  FlipMacOnce hook(/*bit=*/5, /*fire_at=*/4096);
+  core.set_fault_hook(&hook);
+  EXPECT_NE(core.multiply(a, s), expect);
+  core.set_fault_hook(nullptr);
+  EXPECT_EQ(core.multiply(a, s), expect);
+}
+
+TEST(RtlFaultHooks, DspLaneOutputFaultCorruptsLanes) {
+  DspLaneRtl lane;
+  FlipDspAlways hook;
+  lane.set_fault_hook(&hook);
+  const auto got = lane.compute(100, 200, 3, -2);
+  const auto expect = arch::DspPackedMultiplier::pack_multiply(100, 200, 3, -2);
+  EXPECT_TRUE(got.a0s0 != expect.a0s0 || got.cross != expect.cross ||
+              got.a1s1 != expect.a1s1);
+  lane.set_fault_hook(nullptr);
+  const auto clean = lane.compute(100, 200, 3, -2);
+  EXPECT_EQ(clean.a0s0, expect.a0s0);
+  EXPECT_EQ(clean.cross, expect.cross);
+  EXPECT_EQ(clean.a1s1, expect.a1s1);
+}
 
 TEST(RtlDspLane, ExhaustiveAgreementWithFunctionalModel) {
   // The gate-structured lane must match DspPackedMultiplier::pack_multiply —

@@ -1,0 +1,251 @@
+// Tests for the backend circuit breaker (src/robust/supervisor.hpp): breaker
+// state transitions (closed -> open -> half-open -> closed), known-answer
+// re-probing, transform-domain failover across health changes, and the
+// end-to-end KemBatch guarantee: a stuck backend never costs an item.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "mult/batch.hpp"
+#include "mult/schoolbook.hpp"
+#include "mult/strategy.hpp"
+#include "robust/fault_injector.hpp"
+#include "robust/faulty_multiplier.hpp"
+#include "robust/supervisor.hpp"
+#include "saber/batch.hpp"
+#include "saber/kem.hpp"
+
+namespace saber::robust {
+namespace {
+
+constexpr unsigned kQ = 13;
+
+/// A supervisor whose first backend is a fault-injected toom4 and whose
+/// second is a clean schoolbook; returns the shared injector.
+struct Rig {
+  std::shared_ptr<FaultInjector> inj = std::make_shared<FaultInjector>(7);
+  BackendSupervisor sup;
+
+  explicit Rig(SupervisorConfig cfg)
+      : sup({"toom4", "schoolbook"}, cfg,
+            [inj = inj](std::size_t i) -> std::unique_ptr<mult::PolyMultiplier> {
+              if (i == 0) {
+                return std::make_unique<FaultyPolyMultiplier>(
+                    mult::make_multiplier("toom4"), inj);
+              }
+              return mult::make_multiplier("schoolbook");
+            }) {}
+};
+
+TEST(BackendSupervisor, FacadeIsBitIdenticalToBackendsWhenHealthy) {
+  BackendSupervisor sup({"toom4", "ntt"});
+  EXPECT_EQ(sup.name(), "supervised(toom4>ntt)");
+  const auto m = sup.make_worker_multiplier();
+  EXPECT_EQ(m->name(), sup.name());
+  mult::SchoolbookMultiplier ref;
+  Xoshiro256StarStar rng(11);
+  for (const unsigned qbits : {10u, 13u}) {
+    const auto a = ring::Poly::random(rng, qbits);
+    const auto s = ring::SecretPoly::random(rng, 4);
+    EXPECT_EQ(m->multiply_secret(a, s, qbits), ref.multiply_secret(a, s, qbits));
+  }
+  const auto st = sup.status();
+  ASSERT_EQ(st.size(), 2u);
+  EXPECT_EQ(st[0].state, BreakerState::kClosed);
+  EXPECT_EQ(st[0].calls, 2u);  // the healthy first backend takes all traffic
+  EXPECT_EQ(st[1].calls, 0u);
+}
+
+TEST(BackendSupervisor, QuarantineProbeFailureAndReadmission) {
+  Rig rig({/*quarantine_after=*/2, /*probe_after=*/3, /*probes_to_close=*/1, {}});
+  const auto m = rig.sup.make_worker_multiplier();
+  mult::SchoolbookMultiplier ref;
+  Xoshiro256StarStar rng(12);
+  const auto next = [&] {
+    const auto a = ring::Poly::random(rng, kQ);
+    const auto s = ring::SecretPoly::random(rng, 4);
+    EXPECT_EQ(m->multiply_secret(a, s, kQ), ref.multiply_secret(a, s, kQ));
+  };
+
+  rig.inj->arm(FaultSpec::permanent_flip(FaultSite::kProduct, 3, 7));
+
+  // Two confirmed faults open the breaker (each call still returns the
+  // correct product via the checked decorator's failover).
+  next();
+  next();
+  auto st = rig.sup.status();
+  EXPECT_EQ(st[0].state, BreakerState::kOpen);
+  EXPECT_EQ(st[0].quarantines, 1u);
+  EXPECT_EQ(st[0].confirmed_faults, 2u);
+  EXPECT_EQ(st[0].calls, 2u);
+
+  // While open, traffic routes around to the second backend.
+  next();
+  next();
+  next();
+  st = rig.sup.status();
+  EXPECT_EQ(st[0].routed_around, 3u);
+  EXPECT_EQ(st[1].calls, 3u);
+
+  // probe_after routed-around calls -> half-open -> known-answer probe.
+  // The fault is still armed, so the probe fails and the breaker re-opens.
+  next();
+  st = rig.sup.status();
+  EXPECT_EQ(st[0].state, BreakerState::kOpen);
+  EXPECT_EQ(st[0].probe_failures, 1u);
+  EXPECT_EQ(st[0].readmissions, 0u);
+
+  // Clear the fault; after another probe window the probe passes, the
+  // breaker closes, and traffic returns to the first backend. (The failed
+  // probe's own call already counted one routed-around skip, so the third
+  // call here finds the window elapsed, probes, and lands on backend 0.)
+  rig.inj->disarm_all();
+  next();
+  next();
+  next();  // probes, passes, closes — and this call runs on backend 0
+  st = rig.sup.status();
+  EXPECT_EQ(st[0].state, BreakerState::kClosed);
+  EXPECT_EQ(st[0].readmissions, 1u);
+  EXPECT_EQ(st[0].confirmed_faults, 0u);  // reset on readmission
+  EXPECT_EQ(st[0].calls, 3u);
+  next();
+  EXPECT_EQ(rig.sup.status()[0].calls, 4u);
+}
+
+TEST(BackendSupervisor, AllBackendsOpenStillServesCorrectProducts) {
+  auto inj = std::make_shared<FaultInjector>(9);
+  inj->arm(FaultSpec::permanent_flip(FaultSite::kProduct, 5, 50));
+  BackendSupervisor sup(
+      {"toom4"}, {/*quarantine_after=*/1, /*probe_after=*/1000, 1, {}},
+      [inj](std::size_t) -> std::unique_ptr<mult::PolyMultiplier> {
+        return std::make_unique<FaultyPolyMultiplier>(mult::make_multiplier("toom4"),
+                                                      inj);
+      });
+  const auto m = sup.make_worker_multiplier();
+  mult::SchoolbookMultiplier ref;
+  Xoshiro256StarStar rng(13);
+  for (int i = 0; i < 3; ++i) {
+    const auto a = ring::Poly::random(rng, kQ);
+    const auto s = ring::SecretPoly::random(rng, 4);
+    // No healthy backend left: the last one is used anyway, and the checked
+    // decorator's failover keeps the results correct.
+    EXPECT_EQ(m->multiply_secret(a, s, kQ), ref.multiply_secret(a, s, kQ));
+  }
+  const auto st = sup.status();
+  EXPECT_EQ(st[0].state, BreakerState::kOpen);
+  EXPECT_EQ(st[0].calls, 3u);
+}
+
+TEST(BackendSupervisor, TransformsPreparedBeforeQuarantineSurviveFailover) {
+  Rig rig({/*quarantine_after=*/1, /*probe_after=*/1000, 1, {}});
+  const auto m = rig.sup.make_worker_multiplier();
+  mult::SchoolbookMultiplier ref;
+  Xoshiro256StarStar rng(14);
+
+  // Prepare while backend 0 is healthy (a shared matrix, in KemBatch terms).
+  const auto a = ring::Poly::random(rng, kQ);
+  const auto ta = m->prepare_public(a, kQ);
+
+  // Open backend 0 with one confirmed fault.
+  rig.inj->arm(FaultSpec::permanent_flip(FaultSite::kProduct, 2, 9));
+  const auto am = ring::Poly::random(rng, kQ);
+  const auto sm = ring::SecretPoly::random(rng, 4);
+  EXPECT_EQ(m->multiply_secret(am, sm, kQ), ref.multiply_secret(am, sm, kQ));
+  ASSERT_EQ(rig.sup.status()[0].state, BreakerState::kOpen);
+
+  // A secret prepared after the quarantine still combines with the old
+  // public transform, and finalize runs on the healthy second backend.
+  const auto s = ring::SecretPoly::random(rng, 4);
+  const auto ts = m->prepare_secret(s, kQ);
+  auto acc = m->make_accumulator();
+  m->pointwise_accumulate(acc, ta, ts);
+  EXPECT_EQ(m->finalize(acc, kQ), ref.multiply_secret(a, s, kQ));
+  const auto st = rig.sup.status();
+  EXPECT_EQ(st[1].calls, 1u);  // the finalize landed on the clean backend
+  EXPECT_EQ(st[0].routed_around, 1u);
+}
+
+TEST(BackendSupervisor, RawTransformsAreRejected) {
+  BackendSupervisor sup({"toom4", "ntt"});
+  const auto m = sup.make_worker_multiplier();
+  const auto raw = mult::make_multiplier("toom4");
+  Xoshiro256StarStar rng(15);
+  const auto a = ring::Poly::random(rng, kQ);
+  const auto s = ring::SecretPoly::random(rng, 4);
+  auto acc = m->make_accumulator();
+  EXPECT_THROW(
+      m->pointwise_accumulate(acc, raw->prepare_public(a, kQ), m->prepare_secret(s, kQ)),
+      ContractViolation);
+  auto raw_acc = raw->make_accumulator();
+  EXPECT_THROW(m->finalize(raw_acc, kQ), ContractViolation);
+}
+
+TEST(BackendSupervisor, SupervisedMatvecMatchesRawBackend) {
+  BackendSupervisor sup({"toom4", "ntt"});
+  const auto m = sup.make_worker_multiplier();
+  const auto raw = mult::make_multiplier("toom4");
+  Xoshiro256StarStar rng(16);
+  const std::size_t l = 3;
+  ring::PolyMatrix a(l, l);
+  for (std::size_t r = 0; r < l; ++r) {
+    for (std::size_t c = 0; c < l; ++c) a.at(r, c) = ring::Poly::random(rng, kQ);
+  }
+  ring::SecretVec s(l);
+  for (auto& sp : s) sp = ring::SecretPoly::random(rng, 4);
+  EXPECT_EQ(mult::matrix_vector_mul(a, s, *m, kQ, false),
+            mult::matrix_vector_mul(a, s, *raw, kQ, false));
+}
+
+// --- end to end: KemBatch over a supervised multiplier ----------------------
+
+TEST(BackendSupervisor, KemBatchSurvivesStuckBackendThenReadmitsIt) {
+  std::vector<batch::KeygenRequest> reqs(1);
+  Xoshiro256StarStar rng(17);
+  rng.fill(reqs[0].seed_a);
+  rng.fill(reqs[0].seed_s);
+  rng.fill(reqs[0].z);
+  std::vector<kem::Message> msgs(4);
+  for (auto& msg : msgs) rng.fill(msg);
+
+  batch::KemBatch clean(kem::kSaber, "toom4", 2);
+  const auto keys = clean.keygen_many(reqs);
+  const auto enc = clean.encaps_many(keys[0].value.pk, msgs);
+  std::vector<std::vector<u8>> cts;
+  for (const auto& e : enc) cts.push_back(e.value.ct);
+  const auto expect = clean.decaps_many(keys[0].value.sk, cts);
+
+  Rig rig({/*quarantine_after=*/2, /*probe_after=*/2, /*probes_to_close=*/1, {}});
+  batch::KemBatch b(
+      kem::kSaber, [&rig] { return rig.sup.make_worker_multiplier(); }, 2);
+
+  // Backend 0 develops a stuck-at product fault: every item must still come
+  // back ok or recovered, bit-identical to the clean batch, and the backend
+  // must end up quarantined.
+  rig.inj->arm(FaultSpec::permanent_flip(FaultSite::kProduct, 4, 21));
+  const auto got = b.decaps_many(keys[0].value.sk, cts);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(got[i].ok()) << i;
+    EXPECT_EQ(got[i].value, expect[i].value) << i;
+  }
+  auto st = rig.sup.status();
+  EXPECT_GE(st[0].quarantines, 1u);
+  EXPECT_GT(st[1].calls, 0u);  // the clean backend carried the tail traffic
+
+  // The fault clears; subsequent batches re-probe and readmit backend 0.
+  rig.inj->disarm_all();
+  for (int round = 0; round < 2; ++round) {
+    const auto again = b.decaps_many(keys[0].value.sk, cts);
+    for (std::size_t i = 0; i < again.size(); ++i) {
+      EXPECT_TRUE(again[i].ok()) << i;
+      EXPECT_EQ(again[i].value, expect[i].value) << i;
+    }
+  }
+  st = rig.sup.status();
+  EXPECT_GE(st[0].readmissions, 1u);
+  EXPECT_EQ(st[0].state, BreakerState::kClosed);
+}
+
+}  // namespace
+}  // namespace saber::robust

@@ -7,18 +7,22 @@
 // `--json <path>` to also write the distilled BENCH_fault.json that
 // scripts/bench_json.sh checks in.
 //
-// Four experiments:
+// Five experiments:
 //   1. transient campaign - seeded single-bit transient product faults through
 //      CheckedMultiplier(kFull): detection must be 100%, retry recovery ~100%.
 //   2. stuck-at campaign   - permanently stuck product bits: detection 100%,
 //      recovery via failover to the reference backend.
 //   3. architecture campaign - seeded transient and stuck-at faults at the
-//      real datapath sites (BRAM read/write ports, MAC adder, DSP output) of
-//      the HS-I / HS-II / LW cycle-accurate cores, repaired by
-//      CheckedHwMultiplier: zero silent corruptions, ever.
+//      real datapath sites (BRAM read/write ports, MAC adder, shift-and-add
+//      small multiplier, DSP output) of the HS-I / HS-II / LW cycle-accurate
+//      cores, repaired by CheckedHwMultiplier: zero silent corruptions, ever.
 //   4. checking overhead   - cost of the verification policies and check
 //      kinds (schoolbook re-derivation vs point-evaluation vs Freivalds), at
 //      the multiplier level and for full KEM decapsulations.
+//   5. supervised prepare cost - lazy copy-on-quarantine transform caching:
+//      preparing a 3x3 public matrix through the supervised facade must cost
+//      ~1x a single checked backend (time and memory), not the sum over the
+//      failover chain the old eager design paid.
 //
 // `--smoke` shrinks every trial/iteration count so the whole campaign runs in
 // seconds under sanitizers (the run_all.sh asan-ubsan smoke).
@@ -33,12 +37,15 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "mult/batch.hpp"
 #include "mult/schoolbook.hpp"
 #include "mult/strategy.hpp"
 #include "multipliers/hw_multiplier.hpp"
+#include "ring/polyvec.hpp"
 #include "robust/checked_multiplier.hpp"
 #include "robust/fault_injector.hpp"
 #include "robust/faulty_multiplier.hpp"
+#include "robust/supervisor.hpp"
 #include "saber/kem.hpp"
 
 namespace saber::robust {
@@ -173,6 +180,10 @@ std::vector<ArchCampaign> architecture_campaigns(int transient_trials,
     std::vector<SiteCase> sites = {{FaultSite::kBramRead, 64},
                                    {FaultSite::kBramWrite, 64},
                                    {FaultSite::kMacAccumulate, kQ}};
+    // The shift-and-add multiple selector only exists on the MAC-based cores;
+    // HS-II's packed DSP lanes replace it and never fire the site (and
+    // random_transient requires at least one event to draw from).
+    if (arch != "hs2") sites.push_back({FaultSite::kSmallMult, kQ});
     // Only HS-II has DSP-packed lanes; the other cores never touch the site.
     if (arch == "hs2") sites.push_back({FaultSite::kDspOutput, 42});
     for (const auto& sc : sites) {
@@ -340,6 +351,67 @@ std::vector<DecapsRow> kem_decaps_overhead(int iters) {
   return rows;
 }
 
+// --- supervised prepare cost ------------------------------------------------
+
+struct PrepareRow {
+  std::string config;
+  double ns = 0.0;
+  double ratio = 1.0;      ///< vs the raw backend
+  std::size_t values = 0;  ///< i64 values held by the prepared 3x3 matrix
+};
+
+/// Cost of caching a 3x3 public matrix (the Saber l=3 hot shape) under each
+/// preparation regime. The supervised facade prepares lazily
+/// (copy-on-quarantine), so its no-fault cost must track a single checked
+/// backend; the last row emulates the retired eager design that materialized
+/// every failover backend's image up front.
+std::vector<PrepareRow> supervised_prepare_cost(int iters) {
+  constexpr std::size_t kL = 3;
+  Xoshiro256StarStar rng(7007);
+  ring::PolyMatrix a(kL, kL);
+  for (std::size_t r = 0; r < kL; ++r) {
+    for (std::size_t c = 0; c < kL; ++c) {
+      a.at(r, c) = ring::Poly::random(rng, kQ);
+    }
+  }
+
+  const auto raw = mult::make_multiplier(kBackend);
+  const auto checked = make_checked(kBackend, {});
+  const auto checked_alt = make_checked("ntt", {});
+  BackendSupervisor sup({kBackend, "ntt"});
+  const auto supervised = sup.make_worker_multiplier();
+
+  volatile std::size_t sink = 0;
+  const std::vector<std::function<void()>> configs = {
+      [&] { sink = mult::PreparedMatrix(a, *raw, kQ).value_count(); },
+      [&] { sink = mult::PreparedMatrix(a, *checked, kQ).value_count(); },
+      [&] { sink = mult::PreparedMatrix(a, *supervised, kQ).value_count(); },
+      [&] {
+        sink = mult::PreparedMatrix(a, *checked, kQ).value_count() +
+               mult::PreparedMatrix(a, *checked_alt, kQ).value_count();
+      },
+  };
+  const auto ns = interleaved_ns_per_call(configs, iters);
+  (void)sink;
+
+  std::vector<PrepareRow> rows = {
+      {std::string(kBackend)},
+      {"checked(" + std::string(kBackend) + ")"},
+      {"supervised(" + std::string(kBackend) + ">ntt) lazy"},
+      {"eager two-backend images (old)"},
+  };
+  rows[0].values = mult::PreparedMatrix(a, *raw, kQ).value_count();
+  rows[1].values = mult::PreparedMatrix(a, *checked, kQ).value_count();
+  rows[2].values = mult::PreparedMatrix(a, *supervised, kQ).value_count();
+  rows[3].values = rows[1].values +
+                   mult::PreparedMatrix(a, *checked_alt, kQ).value_count();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i].ns = ns[i];
+    rows[i].ratio = ns[i] / ns[0];
+  }
+  return rows;
+}
+
 // --- reporting --------------------------------------------------------------
 
 void print_campaign(const char* title, const Campaign& c) {
@@ -385,6 +457,7 @@ int run(int argc, char** argv) {
   const int kArchStuckTrials = smoke ? 2 : 10;
   const int kMultIters = smoke ? 25 : 400;
   const int kDecapsIters = smoke ? 3 : 40;
+  const int kPrepareIters = smoke ? 8 : 120;
 
   const auto transient = transient_campaign(kTrials);
   const auto stuck = stuck_at_campaign(kTrials);
@@ -392,6 +465,7 @@ int run(int argc, char** argv) {
       architecture_campaigns(kArchTransientTrials, kArchStuckTrials);
   const auto rows = multiplier_overhead(kMultIters);
   const auto decaps = kem_decaps_overhead(kDecapsIters);
+  const auto prep = supervised_prepare_cost(kPrepareIters);
 
   std::printf("Fault-tolerance campaign (backend %s, mod 2^%u, policy full)%s\n\n",
               kBackend, kQ, smoke ? " [smoke]" : "");
@@ -424,6 +498,13 @@ int run(int argc, char** argv) {
                 d.ratio);
   }
 
+  std::printf("\nsupervised prepare cost, 3x3 public matrix (%d iters):\n",
+              kPrepareIters);
+  for (const auto& p : prep) {
+    std::printf("  %-32s %10.1f ns/prepare  (%.2fx, %zu i64 values)\n",
+                p.config.c_str(), p.ns, p.ratio, p.values);
+  }
+
   if (json_path != nullptr) {
     std::FILE* f = std::fopen(json_path, "w");
     if (f == nullptr) {
@@ -453,6 +534,15 @@ int run(int argc, char** argv) {
                    "\"ratio\": %.3f }%s\n",
                    rows[i].config.c_str(), rows[i].ns, rows[i].ratio,
                    i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"supervised_prepare\": [\n");
+    for (std::size_t i = 0; i < prep.size(); ++i) {
+      std::fprintf(f,
+                   "    { \"config\": \"%s\", \"ns_per_prepare\": %.1f, "
+                   "\"ratio\": %.3f, \"i64_values\": %zu }%s\n",
+                   prep[i].config.c_str(), prep[i].ns, prep[i].ratio,
+                   prep[i].values, i + 1 < prep.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
     std::fprintf(f,

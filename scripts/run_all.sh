@@ -12,12 +12,23 @@ cmake --build --preset release
 
 ctest --test-dir build-release 2>&1 | tee test_output.txt
 
+# Deeper randomized conformance sweep than the tier-1 default (4 iters): every
+# backend and every architecture core against schoolbook, failing iterations
+# report their replay seed.
+SABER_CONFORMANCE_ITERS=24 ctest --test-dir build-release -L conformance \
+  2>&1 | tee -a test_output.txt
+
 # Run the suite a second time under address+undefined sanitizers: the
 # robustness layer's exception/zeroization paths are exactly where lifetime
 # bugs would hide.
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan
 ctest --test-dir build-asan 2>&1 | tee -a test_output.txt
+
+# Conformance fuzz under the sanitizers as well (smaller budget: sanitized
+# NTT/Toom multiplies are ~10x slower).
+SABER_CONFORMANCE_ITERS=6 ctest --test-dir build-asan -L conformance \
+  2>&1 | tee -a test_output.txt
 
 # Smoke the fault campaign under the sanitizers too (small trial counts):
 # the detect / retry / failover machinery and the architecture fault hooks

@@ -38,6 +38,13 @@ class FaultHook {
     return value;
   }
 
+  /// Product leaving a small (shift-and-add) multiplier, before the MAC
+  /// adder consumes it. The LW/HS-I analogue of the DSP output site.
+  virtual u16 on_small_mult(u16 value, unsigned qbits) {
+    (void)qbits;
+    return value;
+  }
+
   /// Product entering the DSP pipeline's first output stage.
   virtual i64 on_dsp_output(i64 value) { return value; }
 };

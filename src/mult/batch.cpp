@@ -30,6 +30,18 @@ PreparedVector::PreparedVector(const ring::PolyVec& v, const PolyMultiplier& m,
   for (const auto& p : v) elems_.push_back(m.prepare_public(p, qbits));
 }
 
+std::size_t PreparedMatrix::value_count() const {
+  std::size_t n = 0;
+  for (const auto& t : elems_) n += t.size();
+  return n;
+}
+
+std::size_t PreparedVector::value_count() const {
+  std::size_t n = 0;
+  for (const auto& t : elems_) n += t.size();
+  return n;
+}
+
 ring::PolyVec matrix_vector_mul(const PreparedMatrix& a,
                                 std::span<const Transformed> ts,
                                 const PolyMultiplier& m, bool transpose) {

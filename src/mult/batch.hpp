@@ -33,6 +33,12 @@ class PreparedMatrix {
     return elems_[r * cols_ + c];
   }
 
+  /// Total i64 values held across every prepared element — the memory
+  /// footprint a multiplier's transform layout imposes on a cached matrix
+  /// (the supervised lazy layout is measured against the old eager one with
+  /// this, see bench_fault_campaign).
+  std::size_t value_count() const;
+
  private:
   std::size_t rows_, cols_;
   unsigned qbits_;
@@ -47,6 +53,9 @@ class PreparedVector {
   std::size_t size() const { return elems_.size(); }
   unsigned qbits() const { return qbits_; }
   const Transformed& at(std::size_t i) const { return elems_[i]; }
+
+  /// Total i64 values held across every prepared element.
+  std::size_t value_count() const;
 
  private:
   unsigned qbits_;

@@ -130,7 +130,14 @@ MultiplierResult HighSpeedMultiplier::multiply(const ring::Poly& a,
             // with a larger magnitude saturates at the top input (cannot
             // happen fault-free: the packed range is within +-max_mag).
             const unsigned mag = raw_mag > cfg_.max_mag ? cfg_.max_mag : raw_mag;
-            acc[j] = hw::mac_accumulate(acc[j], multiples.select(mag), sj < 0, kQ,
+            // Small-multiplier output site (shared multiple generator): the
+            // shift-and-add product before the MAC adder consumes it.
+            u16 multiple = multiples.select(mag);
+            if (fault_hook_ != nullptr) {
+              multiple = static_cast<u16>(
+                  low_bits(fault_hook_->on_small_mult(multiple, kQ), kQ));
+            }
+            acc[j] = hw::mac_accumulate(acc[j], multiple, sj < 0, kQ,
                                         fault_hook_);
           }
           shift_secret(b);

@@ -91,9 +91,11 @@ MultiplierResult KaratsubaHwMultiplier::multiply(const ring::Poly& a,
     ring::add_inplace(out, *accumulate, kQ);
   }
 
-  // Schedule: pre-add pyramid, engine batches, recombination tree.
+  // Schedule: pre-add pyramid, engine batches, recombination tree. The
+  // pyramid is datapath fill (headline_cycles counts it), not operand load,
+  // so it lands in `pipeline` with the recombination tree.
   for (unsigned c = 0; c < cfg_.levels; ++c) run_cycle();
-  st.preload += cfg_.levels;
+  st.pipeline += cfg_.levels;
   const u64 sub = pow3(cfg_.levels);
   const u64 sub_size = ring::kN >> cfg_.levels;
   const u64 batches = ceil_div(sub, u64{cfg_.units});

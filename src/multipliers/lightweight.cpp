@@ -165,7 +165,14 @@ MultiplierResult LightweightMultiplier::multiply(const ring::Poly& a,
         const bool negate = c >= kNn;  // negacyclic wrap (c < 2N always)
         const i8 sj = sblk[m];
         const unsigned mag = static_cast<unsigned>(sj < 0 ? -sj : sj);
-        acc[idx] = hw::mac_accumulate(acc[idx], multiples.select(mag),
+        // The shift-and-add product leaves the small multiplier before the
+        // MAC adder consumes it — the LW analogue of HS-II's DSP output site.
+        u16 multiple = multiples.select(mag);
+        if (fault_hook_ != nullptr) {
+          multiple = static_cast<u16>(
+              low_bits(fault_hook_->on_small_mult(multiple, kQ), kQ));
+        }
+        acc[idx] = hw::mac_accumulate(acc[idx], multiple,
                                       negate != (sj < 0), kQ, fault_hook_);
       }
 

@@ -1,6 +1,10 @@
 #include "robust/algebraic_check.hpp"
 
+#include <cstdlib>
+#include <random>
+
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "mult/modmath.hpp"
 
 namespace saber::robust {
@@ -33,49 +37,77 @@ u64 find_root(u64 p) {
 }  // namespace
 
 PointChecker::PointChecker(unsigned coset_index) {
+  build(std::span<const unsigned>(&coset_index, 1));
+}
+
+PointChecker::PointChecker(std::span<const unsigned> coset_indices) {
+  build(coset_indices);
+}
+
+void PointChecker::build(std::span<const unsigned> coset_indices) {
+  SABER_REQUIRE(!coset_indices.empty(), "point checker needs at least one root");
   prime_ = find_prime();
+  num_roots_ = coset_indices.size();
   const u64 omega = find_root(prime_);
-  // Odd powers of omega are exactly the roots of x^N + 1 mod P.
-  const u64 x0 = mult::powmod(omega, 2 * (coset_index % ring::kN) + 1, prime_);
-  pow_[0] = 1;
-  for (std::size_t i = 1; i < pow_.size(); ++i) {
-    pow_[i] = mult::mulmod(pow_[i - 1], x0, prime_);
+  pow_.resize(num_roots_ * kPowStride);
+  for (std::size_t r = 0; r < num_roots_; ++r) {
+    // Odd powers of omega are exactly the roots of x^N + 1 mod P.
+    const u64 xr = mult::powmod(
+        omega, 2 * (coset_indices[r] % ring::kN) + 1, prime_);
+    u64* row = pow_.data() + r * kPowStride;
+    row[0] = 1;
+    for (std::size_t i = 1; i < kPowStride; ++i) {
+      row[i] = mult::mulmod(row[i - 1], xr, prime_);
+    }
   }
 }
 
-u64 PointChecker::eval_public(const ring::Poly& a, unsigned qbits) const {
+const u64* PointChecker::powers(std::size_t root) const {
+  SABER_REQUIRE(root < num_roots_, "root index out of range");
+  return pow_.data() + root * kPowStride;
+}
+
+std::size_t PointChecker::draw_root() const {
+  return clock_.fetch_add(1, std::memory_order_relaxed) % num_roots_;
+}
+
+u64 PointChecker::eval_public(const ring::Poly& a, unsigned qbits,
+                              std::size_t root) const {
+  const u64* pw = powers(root);
   // Centered lift so the evaluation matches the integers every backend
   // actually convolves (and prepare_public caches).
   u128 pos = 0, neg = 0;
   for (std::size_t i = 0; i < ring::kN; ++i) {
     const i64 c = ring::centered(a[i], qbits);
     if (c >= 0) {
-      pos += static_cast<u128>(static_cast<u64>(c)) * pow_[i];
+      pos += static_cast<u128>(static_cast<u64>(c)) * pw[i];
     } else {
-      neg += static_cast<u128>(static_cast<u64>(-c)) * pow_[i];
+      neg += static_cast<u128>(static_cast<u64>(-c)) * pw[i];
     }
   }
   return mult::submod(static_cast<u64>(pos % prime_),
                       static_cast<u64>(neg % prime_), prime_);
 }
 
-u64 PointChecker::eval_secret(const ring::SecretPoly& s) const {
+u64 PointChecker::eval_secret(const ring::SecretPoly& s, std::size_t root) const {
+  const u64* pw = powers(root);
   u128 pos = 0, neg = 0;
   for (std::size_t i = 0; i < ring::kN; ++i) {
     const i64 c = s[i];
     if (c >= 0) {
-      pos += static_cast<u128>(static_cast<u64>(c)) * pow_[i];
+      pos += static_cast<u128>(static_cast<u64>(c)) * pw[i];
     } else {
-      neg += static_cast<u128>(static_cast<u64>(-c)) * pow_[i];
+      neg += static_cast<u128>(static_cast<u64>(-c)) * pw[i];
     }
   }
   return mult::submod(static_cast<u64>(pos % prime_),
                       static_cast<u64>(neg % prime_), prime_);
 }
 
-u64 PointChecker::eval_witness(std::span<const i64> w) const {
+u64 PointChecker::eval_witness(std::span<const i64> w, std::size_t root) const {
   SABER_REQUIRE(w.size() == ring::kN || w.size() == 2 * ring::kN - 1,
                 "witness length is neither N nor 2N-1");
+  const u64* pw = powers(root);
   // Lazy reduction: |w_i| < 2^55 and pow < 2^61 keep each product below
   // 2^116; 511 terms stay below 2^125 < 2^128.
   constexpr i64 kMaxMag = i64{1} << 55;
@@ -84,9 +116,9 @@ u64 PointChecker::eval_witness(std::span<const i64> w) const {
     const i64 c = w[i];
     SABER_REQUIRE(c < kMaxMag && c > -kMaxMag, "witness coefficient too large");
     if (c >= 0) {
-      pos += static_cast<u128>(static_cast<u64>(c)) * pow_[i];
+      pos += static_cast<u128>(static_cast<u64>(c)) * pw[i];
     } else {
-      neg += static_cast<u128>(static_cast<u64>(-c)) * pow_[i];
+      neg += static_cast<u128>(static_cast<u64>(-c)) * pw[i];
     }
   }
   return mult::submod(static_cast<u64>(pos % prime_),
@@ -102,7 +134,30 @@ u64 PointChecker::mul(u64 a, u64 b) const { return mult::mulmod(a, b, prime_); }
 u64 PointChecker::add(u64 a, u64 b) const { return mult::addmod(a, b, prime_); }
 
 const PointChecker& shared_point_checker() {
-  static const PointChecker checker;
+  static const PointChecker checker = [] {
+    // Draw kNumSharedRoots distinct coset indices once per process. The seed
+    // comes from the environment when set (reproduction / CI triage), from
+    // hardware entropy otherwise — an adversarial defect polynomial crafted
+    // against any fixed published root set does not know this process's draw.
+    u64 seed;
+    if (const char* env = std::getenv("SABER_CHECK_ROOT_SEED")) {
+      seed = std::strtoull(env, nullptr, 0);
+    } else {
+      std::random_device rd;
+      seed = (static_cast<u64>(rd()) << 32) ^ rd();
+    }
+    Xoshiro256StarStar rng(seed);
+    std::array<unsigned, PointChecker::kNumSharedRoots> idx{};
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      bool fresh;
+      do {
+        idx[i] = static_cast<unsigned>(rng.uniform(ring::kN));
+        fresh = true;
+        for (std::size_t j = 0; j < i; ++j) fresh = fresh && idx[j] != idx[i];
+      } while (!fresh);
+    }
+    return PointChecker(std::span<const unsigned>(idx));
+  }();
   return checker;
 }
 

@@ -20,17 +20,20 @@ constexpr i64 kSecMagic = 0x5ABE'C4EC'0000'0002LL;
 constexpr i64 kAccMagic = 0x5ABE'C4EC'0000'0003LL;
 
 constexpr std::size_t kNn = ring::kN;
+/// Evaluations cached per operand: one per rotation root of the shared
+/// checker, so `kFreivalds` stays cache-only whichever root a check draws.
+constexpr std::size_t kRoots = PointChecker::kNumSharedRoots;
 /// Raw-operand footer of a prepared public/secret: kN coefficients, the
-/// operand's evaluation at the shared check point (kFreivalds reads it at
-/// finalize; the others carry it for a layout independent of CheckKind),
+/// operand's evaluation at every shared check root (kFreivalds reads them at
+/// finalize; the others carry them for a layout independent of CheckKind),
 /// and the magic.
-constexpr std::size_t kOperandTail = kNn + 2;
-/// One (a, ea, s, es) pair embedded in an accumulator.
-constexpr std::size_t kPairLen = 2 * kNn + 2;
+constexpr std::size_t kOperandTail = kNn + kRoots + 1;
+/// One (a, ea[kRoots], s, es[kRoots]) pair embedded in an accumulator.
+constexpr std::size_t kPairLen = 2 * (kNn + kRoots);
 // Offsets inside one embedded pair.
 constexpr std::size_t kPairEa = kNn;
-constexpr std::size_t kPairS = kNn + 1;
-constexpr std::size_t kPairEs = 2 * kNn + 1;
+constexpr std::size_t kPairS = kNn + kRoots;
+constexpr std::size_t kPairEs = 2 * kNn + kRoots;
 
 ring::Poly unpack_public(std::span<const i64> raw) {
   ring::Poly a;
@@ -116,6 +119,9 @@ void CheckedMultiplier::record(FaultRecord::Path path, FaultRecord::Resolution r
 bool CheckedMultiplier::algebraic_multiply(const ring::Poly& a, const ring::Poly& b,
                                            unsigned qbits, ring::Poly& product) const {
   const auto& pc = shared_point_checker();
+  // Rotating per-check root: an adversarial defect tuned to one published
+  // evaluation point does not know which root this check lands on.
+  const std::size_t root = pc.draw_root();
   try {
     // The split pipeline instead of multiply(): same work, but it ends on the
     // exact-integer witness the point check needs. The verified witness then
@@ -124,8 +130,8 @@ bool CheckedMultiplier::algebraic_multiply(const ring::Poly& a, const ring::Poly
     inner_->pointwise_accumulate(acc, inner_->prepare_public(a, qbits),
                                  inner_->prepare_public(b, qbits));
     const auto w = inner_->finalize_witness(acc);
-    if (!pc.verify(pc.eval_public(a, qbits), pc.eval_public(b, qbits),
-                   pc.eval_witness(w))) {
+    if (!pc.verify(pc.eval_public(a, qbits, root), pc.eval_public(b, qbits, root),
+                   pc.eval_witness(w, root))) {
       return false;
     }
     product = mult::reduce_witness<ring::kN>(std::span<const i64>(w), qbits);
@@ -193,7 +199,10 @@ mult::Transformed CheckedMultiplier::prepare_public(const ring::Poly& a,
   auto t = inner_->prepare_public(a, qbits);
   t.reserve(t.size() + kOperandTail);
   for (std::size_t i = 0; i < kNn; ++i) t.push_back(a[i]);
-  t.push_back(static_cast<i64>(shared_point_checker().eval_public(a, qbits)));
+  const auto& pc = shared_point_checker();
+  for (std::size_t r = 0; r < kRoots; ++r) {
+    t.push_back(static_cast<i64>(pc.eval_public(a, qbits, r)));
+  }
   t.push_back(kPubMagic);
   return t;
 }
@@ -203,7 +212,10 @@ mult::Transformed CheckedMultiplier::prepare_secret(const ring::SecretPoly& s,
   auto t = inner_->prepare_secret(s, qbits);
   t.reserve(t.size() + kOperandTail);
   for (std::size_t i = 0; i < kNn; ++i) t.push_back(s[i]);
-  t.push_back(static_cast<i64>(shared_point_checker().eval_secret(s)));
+  const auto& pc = shared_point_checker();
+  for (std::size_t r = 0; r < kRoots; ++r) {
+    t.push_back(static_cast<i64>(pc.eval_secret(s, r)));
+  }
   t.push_back(kSecMagic);
   return t;
 }
@@ -270,25 +282,29 @@ bool CheckedMultiplier::algebraic_finalize(const mult::Transformed& inner_acc,
                                            std::span<const i64> pairs, unsigned qbits,
                                            ring::Poly& product) const {
   const auto& pc = shared_point_checker();
+  // Rotate the evaluation root per check. kFreivalds pays nothing for the
+  // rotation: prepare_* cached one evaluation per root, finalize just picks
+  // the drawn root's column.
+  const std::size_t root = pc.draw_root();
   try {
     const auto w = inner_->finalize_witness(inner_acc);
-    // The check is linear in the accumulated terms: sum_k a_k(x0) * s_k(x0)
-    // must equal w(x0). With cached evaluations (kFreivalds) this is the
+    // The check is linear in the accumulated terms: sum_k a_k(x_r) * s_k(x_r)
+    // must equal w(x_r). With cached evaluations (kFreivalds) this is the
     // Freivalds vector check for a matvec row: O(l) modular multiplies plus
     // one witness evaluation, independent of the backend's transform cost.
     u64 sum = 0;
     for (std::size_t off = 0; off < pairs.size(); off += kPairLen) {
       u64 ea, es;
       if (config_.kind == CheckKind::kFreivalds) {
-        ea = static_cast<u64>(pairs[off + kPairEa]);
-        es = static_cast<u64>(pairs[off + kPairEs]);
+        ea = static_cast<u64>(pairs[off + kPairEa + root]);
+        es = static_cast<u64>(pairs[off + kPairEs + root]);
       } else {
-        ea = pc.eval_public(unpack_public(pairs.subspan(off, kNn)), qbits);
-        es = pc.eval_secret(unpack_secret(pairs.subspan(off + kPairS, kNn)));
+        ea = pc.eval_public(unpack_public(pairs.subspan(off, kNn)), qbits, root);
+        es = pc.eval_secret(unpack_secret(pairs.subspan(off + kPairS, kNn)), root);
       }
       sum = pc.add(sum, pc.mul(ea, es));
     }
-    if (pc.eval_witness(w) != sum) return false;
+    if (pc.eval_witness(w, root) != sum) return false;
     product = mult::reduce_witness<ring::kN>(std::span<const i64>(w), qbits);
     return true;
   } catch (const ContractViolation&) {

@@ -10,6 +10,7 @@ std::string_view to_string(FaultSite site) {
     case FaultSite::kBramWrite: return "bram-write";
     case FaultSite::kMacAccumulate: return "mac-accumulate";
     case FaultSite::kDspOutput: return "dsp-output";
+    case FaultSite::kSmallMult: return "small-mult";
     case FaultSite::kProduct: return "product";
   }
   return "?";
@@ -155,6 +156,10 @@ u16 FaultInjector::on_mac_accumulate(u16 value, unsigned qbits) {
 
 i64 FaultInjector::on_dsp_output(i64 value) {
   return static_cast<i64>(apply(FaultSite::kDspOutput, static_cast<u64>(value)));
+}
+
+u16 FaultInjector::on_small_mult(u16 value, unsigned qbits) {
+  return static_cast<u16>(apply(FaultSite::kSmallMult, value) & mask64(qbits));
 }
 
 }  // namespace saber::robust

@@ -51,6 +51,7 @@ enum class FaultSite : u8 {
   kBramWrite,      ///< word entering the BRAM array
   kMacAccumulate,  ///< MAC adder sum
   kDspOutput,      ///< DSP multiply-add result
+  kSmallMult,      ///< shift-and-add small-multiplier product (LW/HS-I MACs)
   kProduct,        ///< one coefficient of a finished polynomial product
 };
 
@@ -130,9 +131,10 @@ class FaultInjector final : public hw::FaultHook {
   u64 on_bram_write(std::size_t addr, u64 value) override;
   u16 on_mac_accumulate(u16 value, unsigned qbits) override;
   i64 on_dsp_output(i64 value) override;
+  u16 on_small_mult(u16 value, unsigned qbits) override;
 
  private:
-  static constexpr std::size_t kSites = 5;
+  static constexpr std::size_t kSites = 6;
   static std::size_t index(FaultSite site) { return static_cast<std::size_t>(site); }
 
   /// Apply `spec` to `value` given the event ordinal; records an activation

@@ -11,11 +11,19 @@ namespace {
 
 // Magics marking a Transformed as produced by a supervised facade; same
 // family as the checked decorator's magics (see checked_multiplier.cpp).
-constexpr i64 kSupOperandMagic = 0x5ABE'C4EC'0000'0004LL;
+constexpr i64 kSupPubMagic = 0x5ABE'C4EC'0000'0004LL;
 constexpr i64 kSupAccMagic = 0x5ABE'C4EC'0000'0005LL;
+constexpr i64 kSupSecMagic = 0x5ABE'C4EC'0000'0006LL;
 
 // The known-answer probe runs at the hardware modulus the KEM uses.
 constexpr unsigned kProbeQBits = 13;
+
+constexpr std::size_t kNn = ring::kN;
+
+// Supervised operand: inner_image(backend k) | raw coeffs | qbits | k | magic.
+constexpr std::size_t kOpFooter = kNn + 3;
+// Accumulator-retained raw pair: raw_a (kN) | raw_s (kN) | qbits.
+constexpr std::size_t kSupPairLen = 2 * kNn + 1;
 
 struct BackendState {
   BreakerState state = BreakerState::kClosed;
@@ -25,9 +33,53 @@ struct BackendState {
   u64 probe_failures = 0;
   u64 calls = 0;
   u64 routed_around = 0;
+  u64 prepares = 0;
+  u64 lazy_prepares = 0;
   u64 open_skips = 0;    ///< routed-around calls since the breaker opened
   u64 probe_passes = 0;  ///< consecutive passes while half-open
 };
+
+/// A supervised operand, sliced: the single materialized backend image plus
+/// the retained raw polynomial it was prepared from.
+struct OpView {
+  std::span<const i64> inner;  ///< backend `backend`'s prepared image
+  std::span<const i64> raw;    ///< kN raw coefficients
+  unsigned qbits = 0;
+  std::size_t backend = 0;
+};
+
+OpView parse_operand(const mult::Transformed& t, i64 magic, std::size_t nb,
+                     const char* what) {
+  SABER_REQUIRE(t.size() >= kOpFooter && t.back() == magic, what);
+  const auto backend = static_cast<std::size_t>(t[t.size() - 2]);
+  const auto qbits = static_cast<unsigned>(t[t.size() - 3]);
+  SABER_REQUIRE(backend < nb, "supervised transform backend out of range");
+  SABER_REQUIRE(qbits >= 1 && qbits <= 16, "supervised transform qbits corrupt");
+  const std::size_t inner_len = t.size() - kOpFooter;
+  const std::span<const i64> s(t);
+  return {s.first(inner_len), s.subspan(inner_len, kNn), qbits, backend};
+}
+
+/// A supervised accumulator, sliced: one backend's inner accumulator plus the
+/// raw (a, s, qbits) pairs accumulated so far (the migration ledger).
+struct SupAccView {
+  std::span<const i64> inner;
+  std::span<const i64> pairs;  ///< n_pairs * kSupPairLen values
+  std::size_t backend = 0;
+};
+
+SupAccView parse_sup_acc(const mult::Transformed& t, std::size_t nb,
+                         const char* what) {
+  SABER_REQUIRE(t.size() >= 3 && t.back() == kSupAccMagic, what);
+  const auto backend = static_cast<std::size_t>(t[t.size() - 2]);
+  const auto n = static_cast<std::size_t>(t[t.size() - 3]);
+  SABER_REQUIRE(backend < nb, "supervised accumulator backend out of range");
+  const std::size_t tail = 3 + n * kSupPairLen;
+  SABER_REQUIRE(t.size() >= tail, "corrupt supervised accumulator");
+  const std::span<const i64> s(t);
+  return {s.first(t.size() - tail),
+          s.subspan(t.size() - tail, n * kSupPairLen), backend};
+}
 
 }  // namespace
 
@@ -93,53 +145,111 @@ class SupervisedMultiplier final : public mult::PolyMultiplier, public FaultMoni
     }
   }
 
-  // Split-transform path. A prepared operand / accumulator carries EVERY
-  // backend's transform image, concatenated:
+  // Split-transform path — lazy, copy-on-quarantine. A prepared operand
+  // materializes ONE backend's transform image (whichever backend was
+  // healthy at prepare time) and retains the raw polynomial beside it:
   //
-  //   t_0 | t_1 | ... | len_0 | len_1 | ... | n_backends | magic
+  //   inner_image(backend k) | raw coeffs | qbits | k | magic
   //
-  // so the backend choice is deferred to finalize() time: whichever backend
-  // is healthy *then* finalizes its own slice. This is what keeps a KemBatch
-  // alive across a mid-batch quarantine — transforms prepared while backend
-  // 0 was healthy (e.g. the shared public matrix) still combine with
-  // transforms prepared after the breaker opened, because no slice ever has
-  // to be reinterpreted by a different backend. The cost is n_backends x the
-  // prepare/accumulate work and memory; finalize (and its verification) runs
-  // once.
+  // The no-fault path therefore pays exactly one backend's prepare cost and
+  // memory (it used to pay n_backends x both). When a later operation routes
+  // to a different backend j — i.e. after a quarantine — the consumer
+  // re-prepares backend j's image on demand from the retained raw
+  // polynomial (`lazy_prepares` in the status snapshot). The shared
+  // transform itself is immutable, so a mid-batch failover still never
+  // invalidates a shared prepared matrix: worker threads keep reading the
+  // backend-k image and raw coefficients concurrently, and each lazy
+  // re-preparation is a private copy. Accumulators retain the raw (a, s,
+  // qbits) pairs they absorbed, so an accumulator started on backend k can
+  // be migrated to backend j by replaying the pairs — that is the only
+  // moment the old eager scheme's cross-backend redundancy is actually
+  // needed, and it now costs only the quarantined window instead of every
+  // prepare.
 
   mult::Transformed prepare_public(const ring::Poly& a, unsigned qbits) const override {
-    return concat([&](const CheckedMultiplier& b) { return b.prepare_public(a, qbits); },
-                  kSupOperandMagic);
+    const std::size_t k = prepare_backend();
+    auto t = backends_[k]->prepare_public(a, qbits);
+    t.reserve(t.size() + kOpFooter);
+    for (std::size_t i = 0; i < kNn; ++i) t.push_back(a[i]);
+    t.push_back(static_cast<i64>(qbits));
+    t.push_back(static_cast<i64>(k));
+    t.push_back(kSupPubMagic);
+    return t;
   }
 
   mult::Transformed prepare_secret(const ring::SecretPoly& s,
                                    unsigned qbits) const override {
-    return concat([&](const CheckedMultiplier& b) { return b.prepare_secret(s, qbits); },
-                  kSupOperandMagic);
+    const std::size_t k = prepare_backend();
+    auto t = backends_[k]->prepare_secret(s, qbits);
+    t.reserve(t.size() + kOpFooter);
+    for (std::size_t i = 0; i < kNn; ++i) t.push_back(s[i]);
+    t.push_back(static_cast<i64>(qbits));
+    t.push_back(static_cast<i64>(k));
+    t.push_back(kSupSecMagic);
+    return t;
   }
 
   mult::Transformed make_accumulator() const override {
-    return concat([](const CheckedMultiplier& b) { return b.make_accumulator(); },
-                  kSupAccMagic);
+    std::size_t k;
+    {
+      const std::lock_guard<std::mutex> lock(shared_->mu);
+      k = pick_locked();
+    }
+    auto acc = backends_[k]->make_accumulator();
+    acc.push_back(0);  // n_pairs
+    acc.push_back(static_cast<i64>(k));
+    acc.push_back(kSupAccMagic);
+    return acc;
   }
 
   void pointwise_accumulate(mult::Transformed& acc, const mult::Transformed& a,
                             const mult::Transformed& s) const override {
-    auto accs = split(acc, kSupAccMagic, "not a supervised accumulator");
-    const auto tas = split(a, kSupOperandMagic, "not a supervised public transform");
-    const auto tss = split(s, kSupOperandMagic, "not a supervised secret transform");
-    for (std::size_t i = 0; i < backends_.size(); ++i) {
-      backends_[i]->pointwise_accumulate(accs[i], tas[i], tss[i]);
+    const std::size_t nb = backends_.size();
+    const auto av = parse_sup_acc(acc, nb, "not a supervised accumulator");
+    const auto pa = parse_operand(a, kSupPubMagic, nb, "not a supervised public transform");
+    const auto ps = parse_operand(s, kSupSecMagic, nb, "not a supervised secret transform");
+    // The operands may carry different qbits: a prepared secret is
+    // modulus-independent and legitimately shared across moduli (see
+    // mult::prepare_secrets). The product's modulus is the public operand's.
+
+    std::size_t j;
+    {
+      const std::lock_guard<std::mutex> lock(shared_->mu);
+      j = pick_locked();
     }
-    acc = join(accs, kSupAccMagic);
+
+    // Copy-on-quarantine: migrate the accumulator to backend j if a health
+    // change moved traffic since it was created, then feed it backend-j
+    // images of both operands (lazily prepared when the operand was
+    // materialized for a different backend).
+    mult::Transformed inner_acc =
+        av.backend == j ? mult::Transformed(av.inner.begin(), av.inner.end())
+                        : replay_pairs(av.pairs, j);
+    backends_[j]->pointwise_accumulate(inner_acc, public_image(pa, j),
+                                       secret_image(ps, j));
+
+    mult::Transformed next;
+    next.reserve(inner_acc.size() + av.pairs.size() + kSupPairLen + 3);
+    next.insert(next.end(), inner_acc.begin(), inner_acc.end());
+    next.insert(next.end(), av.pairs.begin(), av.pairs.end());
+    next.insert(next.end(), pa.raw.begin(), pa.raw.end());
+    next.insert(next.end(), ps.raw.begin(), ps.raw.end());
+    next.push_back(static_cast<i64>(pa.qbits));
+    next.push_back(static_cast<i64>(av.pairs.size() / kSupPairLen + 1));
+    next.push_back(static_cast<i64>(j));
+    next.push_back(kSupAccMagic);
+    acc = std::move(next);
   }
 
   ring::Poly finalize(const mult::Transformed& acc, unsigned qbits) const override {
-    const auto accs = split(acc, kSupAccMagic, "not a supervised accumulator");
+    const auto av = parse_sup_acc(acc, backends_.size(), "not a supervised accumulator");
     const std::size_t idx = route();
     const u64 before = backends_[idx]->fault_counters().mismatches;
     try {
-      auto p = backends_[idx]->finalize(accs[idx], qbits);
+      const mult::Transformed inner_acc =
+          av.backend == idx ? mult::Transformed(av.inner.begin(), av.inner.end())
+                            : replay_pairs(av.pairs, idx);
+      auto p = backends_[idx]->finalize(inner_acc, qbits);
       note(idx, backends_[idx]->fault_counters().mismatches - before);
       return p;
     } catch (...) {
@@ -157,45 +267,66 @@ class SupervisedMultiplier final : public mult::PolyMultiplier, public FaultMoni
   }
 
  private:
-  /// Build one supervised transform from per-backend images.
-  template <typename Fn>
-  mult::Transformed concat(Fn&& make, i64 magic) const {
-    std::vector<mult::Transformed> parts;
-    parts.reserve(backends_.size());
-    for (const auto& b : backends_) parts.push_back(make(*b));
-    return join(parts, magic);
-  }
-
-  mult::Transformed join(const std::vector<mult::Transformed>& parts, i64 magic) const {
-    std::size_t total = parts.size() + 2;
-    for (const auto& p : parts) total += p.size();
-    mult::Transformed t;
-    t.reserve(total);
-    for (const auto& p : parts) t.insert(t.end(), p.begin(), p.end());
-    for (const auto& p : parts) t.push_back(static_cast<i64>(p.size()));
-    t.push_back(static_cast<i64>(parts.size()));
-    t.push_back(magic);
-    return t;
-  }
-
-  /// Slice a supervised transform back into per-backend images.
-  std::vector<mult::Transformed> split(const mult::Transformed& t, i64 magic,
-                                       const char* what) const {
-    const std::size_t nb = backends_.size();
-    SABER_REQUIRE(t.size() >= nb + 2 && t.back() == magic &&
-                      t[t.size() - 2] == static_cast<i64>(nb),
-                  what);
-    std::vector<mult::Transformed> parts(nb);
-    std::size_t off = 0;
-    for (std::size_t i = 0; i < nb; ++i) {
-      const auto len = static_cast<std::size_t>(t[t.size() - 2 - nb + i]);
-      SABER_REQUIRE(off + len + nb + 2 <= t.size(), "corrupt supervised transform");
-      parts[i].assign(t.begin() + static_cast<std::ptrdiff_t>(off),
-                      t.begin() + static_cast<std::ptrdiff_t>(off + len));
-      off += len;
+  /// First closed backend in priority order, last backend if none is
+  /// healthy. Requires shared_->mu held.
+  std::size_t pick_locked() const {
+    const auto& states = shared_->states;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (states[i].state == BreakerState::kClosed) return i;
     }
-    SABER_REQUIRE(off + nb + 2 == t.size(), "corrupt supervised transform");
-    return parts;
+    return states.size() - 1;
+  }
+
+  /// Backend for a prepare_* call (counted so tests and the bench can prove
+  /// the no-fault path materializes exactly one image).
+  std::size_t prepare_backend() const {
+    const std::lock_guard<std::mutex> lock(shared_->mu);
+    const std::size_t k = pick_locked();
+    ++shared_->states[k].prepares;
+    return k;
+  }
+
+  void count_lazy(std::size_t j, u64 n = 1) const {
+    const std::lock_guard<std::mutex> lock(shared_->mu);
+    shared_->states[j].lazy_prepares += n;
+  }
+
+  /// Backend-j image of a supervised public operand: the materialized inner
+  /// slice when it already is backend j's, a fresh on-demand preparation
+  /// from the retained raw polynomial otherwise.
+  mult::Transformed public_image(const OpView& v, std::size_t j) const {
+    if (v.backend == j) return {v.inner.begin(), v.inner.end()};
+    count_lazy(j);
+    ring::Poly a;
+    for (std::size_t i = 0; i < kNn; ++i) a[i] = static_cast<u16>(v.raw[i]);
+    return backends_[j]->prepare_public(a, v.qbits);
+  }
+
+  mult::Transformed secret_image(const OpView& v, std::size_t j) const {
+    if (v.backend == j) return {v.inner.begin(), v.inner.end()};
+    count_lazy(j);
+    ring::SecretPoly s;
+    for (std::size_t i = 0; i < kNn; ++i) s[i] = static_cast<i8>(v.raw[i]);
+    return backends_[j]->prepare_secret(s, v.qbits);
+  }
+
+  /// Rebuild an accumulator on backend j by replaying the retained raw
+  /// pairs (accumulator migration across a failover boundary).
+  mult::Transformed replay_pairs(std::span<const i64> pairs, std::size_t j) const {
+    count_lazy(j, 2 * (pairs.size() / kSupPairLen));
+    auto acc = backends_[j]->make_accumulator();
+    for (std::size_t off = 0; off < pairs.size(); off += kSupPairLen) {
+      ring::Poly a;
+      ring::SecretPoly s;
+      for (std::size_t i = 0; i < kNn; ++i) {
+        a[i] = static_cast<u16>(pairs[off + i]);
+        s[i] = static_cast<i8>(pairs[off + kNn + i]);
+      }
+      const auto qbits = static_cast<unsigned>(pairs[off + 2 * kNn]);
+      backends_[j]->pointwise_accumulate(acc, backends_[j]->prepare_public(a, qbits),
+                                         backends_[j]->prepare_secret(s, qbits));
+    }
+    return acc;
   }
 
   /// Advance breaker timers, run due probes, and pick the backend for the
@@ -211,13 +342,7 @@ class SupervisedMultiplier final : public mult::PolyMultiplier, public FaultMoni
       }
       if (states[i].state == BreakerState::kHalfOpen) probe_locked(i);
     }
-    std::size_t chosen = states.size() - 1;
-    for (std::size_t i = 0; i < states.size(); ++i) {
-      if (states[i].state == BreakerState::kClosed) {
-        chosen = i;
-        break;
-      }
-    }
+    const std::size_t chosen = pick_locked();
     for (std::size_t i = 0; i < chosen; ++i) {
       ++states[i].routed_around;
       ++states[i].open_skips;
@@ -316,7 +441,8 @@ std::vector<BackendStatus> BackendSupervisor::status() const {
   for (std::size_t i = 0; i < shared_->states.size(); ++i) {
     const auto& st = shared_->states[i];
     out.push_back({shared_->names[i], st.state, st.confirmed_faults, st.quarantines,
-                   st.readmissions, st.probe_failures, st.calls, st.routed_around});
+                   st.readmissions, st.probe_failures, st.calls, st.routed_around,
+                   st.prepares, st.lazy_prepares});
   }
   return out;
 }

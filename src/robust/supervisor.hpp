@@ -28,12 +28,15 @@
 // SupervisedMultiplier facade via make_worker_multiplier(). Each facade owns
 // private CheckedMultiplier instances (one per backend, so the mutable op
 // counters never race) and shares only the mutex-guarded breaker state.
-// Split-transform caching stays sound across health changes: a prepared
-// transform carries EVERY backend's image (n_backends x the prepare cost
-// and memory), so the backend decision is deferred to finalize() time and
-// transforms prepared before a quarantine keep combining with ones prepared
-// after it — a mid-batch failover never invalidates a shared prepared
-// matrix.
+// Split-transform caching stays sound across health changes — lazily,
+// copy-on-quarantine: a prepared transform materializes only the active
+// backend's image plus the raw polynomial it came from, so the no-fault
+// path pays exactly 1x a single backend's prepare cost and memory. A
+// consumer routed to a different backend (after a quarantine) re-prepares
+// that backend's image on demand from the retained raw polynomial;
+// accumulators retain their raw (a, s) pairs and are migrated across a
+// failover boundary by replay. Shared transforms stay immutable, so a
+// mid-batch failover never invalidates a shared prepared matrix.
 #pragma once
 
 #include <functional>
@@ -70,6 +73,8 @@ struct BackendStatus {
   u64 probe_failures = 0;    ///< half-open -> open transitions
   u64 calls = 0;             ///< operations routed to this backend
   u64 routed_around = 0;     ///< operations that skipped it while unhealthy
+  u64 prepares = 0;          ///< transform images materialized at prepare_* time
+  u64 lazy_prepares = 0;     ///< images re-prepared on demand after a failover
 };
 
 /// Builds backend instance `i` (of the priority-ordered name list). Lets

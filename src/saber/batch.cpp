@@ -108,7 +108,11 @@ std::vector<Outcome<kem::EncapsResult>> KemBatch::encaps_many(
     std::span<const u8> pk, std::span<const kem::Message> messages) {
   // Per-key work once per batch: expand A from its seed and forward-transform
   // A and b. The prepared transforms are plain data, shared read-only by all
-  // workers (every worker's multiplier has the same configuration).
+  // workers (every worker's multiplier has the same configuration). Under a
+  // supervised multiplier this preparation is lazy: only the active backend's
+  // image is materialized here, and a worker routed to a failover backend
+  // mid-batch re-prepares its own private image from the raw polynomials the
+  // transform retains — the shared `prep` itself is never invalidated.
   const kem::PreparedPublicKey prep = schemes_[0]->pke().prepare_pk(pk);
   return run_items<kem::EncapsResult>(
       messages.size(), [&](unsigned worker, std::size_t i, kem::EncapsResult& out) {

@@ -545,6 +545,87 @@ TEST(PointChecker, AcceptsTrueProductsCatchesSingleCoefficientDefects) {
             mult::reduce_witness<ring::kN>(std::span<const i64>(w), kQ));
 }
 
+TEST(PointChecker, RotatingRootsCatchAdversarialDefectAFixedRootMisses) {
+  // The soundness gap of a single fixed evaluation point: a defect
+  // d(x) = c1 * x^off + c2 with c2 == -c1 * x0^off (mod P) vanishes at x0,
+  // so a checker that always evaluates there accepts the corrupted witness
+  // even though the folded product changed. Rotation closes the gap: the
+  // same defect is caught at every other root (it has at most deg(d) roots
+  // mod P), and the shared checker's per-process root draw means an
+  // adversary cannot even target one root set at build time.
+  const unsigned kRootIdx[] = {5, 101, 170, 233};
+  const PointChecker single(kRootIdx[0]);
+  const PointChecker multi{std::span<const unsigned>(kRootIdx)};
+  ASSERT_EQ(multi.num_roots(), 4u);
+  ASSERT_EQ(multi.point(0), single.point());
+  const u64 prime = single.prime();
+
+  // Find (off, c1, c2): c2 = -c1 * x0^off mod P with a centered magnitude
+  // small enough for eval_witness's coefficient bound (|c2| < 2^54; about
+  // 1 in 32 candidates qualifies).
+  constexpr i64 kMagCap = i64{1} << 54;
+  std::size_t off = 0;
+  i64 c1 = 0, c2 = 0;
+  u64 x_pow = 1;  // x0^o
+  for (std::size_t o = 1; o < ring::kN && c1 == 0; ++o) {
+    x_pow = single.mul(x_pow, single.point());
+    for (i64 c = 1; c < 64; ++c) {
+      const u64 neg = prime - single.mul(static_cast<u64>(c), x_pow);
+      const i64 centered =
+          neg > prime / 2 ? -static_cast<i64>(prime - neg) : static_cast<i64>(neg);
+      if (centered > -kMagCap && centered < kMagCap && centered != 0) {
+        off = o;
+        c1 = c;
+        c2 = centered;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(c1, 0) << "no small-coefficient defect found (unexpected)";
+
+  // A true witness, then the adversarial corruption.
+  Xoshiro256StarStar rng(911);
+  mult::SchoolbookMultiplier sb;
+  const auto a = ring::Poly::random(rng, kQ);
+  const auto s = ring::SecretPoly::random(rng, 4);
+  auto acc = sb.make_accumulator();
+  sb.pointwise_accumulate(acc, sb.prepare_public(a, kQ), sb.prepare_secret(s, kQ));
+  auto w = sb.finalize_witness(acc);
+  auto defect = w;
+  defect[off] += c1;
+  defect[0] += c2;
+  // The corruption is real: the folded product differs (c1 != 0 mod 2^kQ).
+  ASSERT_NE(mult::reduce_witness<ring::kN>(std::span<const i64>(defect), kQ),
+            mult::reduce_witness<ring::kN>(std::span<const i64>(w), kQ));
+
+  // The fixed-root checker misses it (the defect vanishes at its point)...
+  EXPECT_TRUE(single.verify(single.eval_public(a, kQ), single.eval_secret(s),
+                            single.eval_witness(std::span<const i64>(defect))));
+
+  // ...and so does the rotating checker's root 0 — but every other root in
+  // the rotation rejects, so rotation bounds the escape probability at
+  // (checks landing on the crafted root) / (rotation width).
+  unsigned rejected = 0;
+  for (std::size_t r = 0; r < multi.num_roots(); ++r) {
+    const bool ok =
+        multi.verify(multi.eval_public(a, kQ, r), multi.eval_secret(s, r),
+                     multi.eval_witness(std::span<const i64>(defect), r));
+    if (r == 0) {
+      EXPECT_TRUE(ok) << "defect should vanish at the crafted root";
+    } else {
+      EXPECT_FALSE(ok) << "root " << r << " accepted the adversarial defect";
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected, multi.num_roots() - 1);
+
+  // draw_root cycles through the whole rotation, so consecutive checks never
+  // pin a single point.
+  std::array<bool, 4> seen{};
+  for (int i = 0; i < 4; ++i) seen[multi.draw_root()] = true;
+  for (const bool b : seen) EXPECT_TRUE(b);
+}
+
 // --- algebraic check kinds (point-eval / Freivalds) -------------------------
 
 TEST(CheckedMultiplier, AlgebraicKindsBitIdenticalToRawWhenFaultFree) {

@@ -166,6 +166,102 @@ TEST(BackendSupervisor, TransformsPreparedBeforeQuarantineSurviveFailover) {
   EXPECT_EQ(st[0].routed_around, 1u);
 }
 
+// --- lazy copy-on-quarantine preparation ------------------------------------
+
+TEST(BackendSupervisor, OnlyActiveBackendPreparedBeforeAnyFault) {
+  BackendSupervisor sup({"toom4", "ntt"});
+  const auto m = sup.make_worker_multiplier();
+  Xoshiro256StarStar rng(18);
+  const std::size_t l = 3;
+  ring::PolyMatrix a(l, l);
+  for (std::size_t r = 0; r < l; ++r) {
+    for (std::size_t c = 0; c < l; ++c) a.at(r, c) = ring::Poly::random(rng, kQ);
+  }
+
+  // The no-fault path materializes exactly one image per element, all on the
+  // active backend — the failover backend pays nothing until a quarantine.
+  const mult::PreparedMatrix pm(a, *m, kQ);
+  auto st = sup.status();
+  EXPECT_EQ(st[0].prepares, l * l);
+  EXPECT_EQ(st[1].prepares, 0u);
+  EXPECT_EQ(st[0].lazy_prepares + st[1].lazy_prepares, 0u);
+
+  // A healthy matvec adds only the secret prepares, still on backend 0 only.
+  ring::SecretVec s(l);
+  for (auto& sp : s) sp = ring::SecretPoly::random(rng, 4);
+  const auto r = mult::matrix_vector_mul(pm, s, *m, false);
+  EXPECT_EQ(r, mult::matrix_vector_mul(a, s, *mult::make_multiplier("toom4"), kQ,
+                                       false));
+  st = sup.status();
+  EXPECT_EQ(st[0].prepares, l * l + l);
+  EXPECT_EQ(st[1].prepares, 0u);
+  EXPECT_EQ(st[0].lazy_prepares + st[1].lazy_prepares, 0u);
+}
+
+TEST(BackendSupervisor, QuarantineMidBatchTriggersExactlyOneLazyPrepare) {
+  Rig rig({/*quarantine_after=*/1, /*probe_after=*/1000, 1, {}});
+  const auto m = rig.sup.make_worker_multiplier();
+  mult::SchoolbookMultiplier ref;
+  Xoshiro256StarStar rng(19);
+
+  // Public transform prepared while backend 0 is healthy.
+  const auto a = ring::Poly::random(rng, kQ);
+  const auto ta = m->prepare_public(a, kQ);
+  ASSERT_EQ(rig.sup.status()[0].prepares, 1u);
+
+  // One confirmed fault quarantines backend 0.
+  rig.inj->arm(FaultSpec::permanent_flip(FaultSite::kProduct, 2, 9));
+  const auto am = ring::Poly::random(rng, kQ);
+  const auto sm = ring::SecretPoly::random(rng, 4);
+  EXPECT_EQ(m->multiply_secret(am, sm, kQ), ref.multiply_secret(am, sm, kQ));
+  ASSERT_EQ(rig.sup.status()[0].state, BreakerState::kOpen);
+
+  // Everything after the quarantine lands on backend 1; combining the old
+  // backend-0 public image costs exactly one on-demand re-preparation.
+  const auto s = ring::SecretPoly::random(rng, 4);
+  const auto ts = m->prepare_secret(s, kQ);
+  auto acc = m->make_accumulator();
+  m->pointwise_accumulate(acc, ta, ts);
+  EXPECT_EQ(m->finalize(acc, kQ), ref.multiply_secret(a, s, kQ));
+  const auto st = rig.sup.status();
+  EXPECT_EQ(st[1].prepares, 1u);       // the post-quarantine secret
+  EXPECT_EQ(st[1].lazy_prepares, 1u);  // the old public image, re-prepared once
+  EXPECT_EQ(st[0].lazy_prepares, 0u);
+}
+
+TEST(BackendSupervisor, AccumulatorMigratesAcrossFailoverBoundary) {
+  Rig rig({/*quarantine_after=*/1, /*probe_after=*/1000, 1, {}});
+  const auto m = rig.sup.make_worker_multiplier();
+  mult::SchoolbookMultiplier ref;
+  Xoshiro256StarStar rng(20);
+
+  // First term accumulated while backend 0 is healthy.
+  const auto a0 = ring::Poly::random(rng, kQ);
+  const auto s0 = ring::SecretPoly::random(rng, 4);
+  auto acc = m->make_accumulator();
+  m->pointwise_accumulate(acc, m->prepare_public(a0, kQ), m->prepare_secret(s0, kQ));
+
+  // Quarantine backend 0 mid-accumulation.
+  rig.inj->arm(FaultSpec::permanent_flip(FaultSite::kProduct, 6, 11));
+  const auto am = ring::Poly::random(rng, kQ);
+  const auto sm = ring::SecretPoly::random(rng, 4);
+  EXPECT_EQ(m->multiply_secret(am, sm, kQ), ref.multiply_secret(am, sm, kQ));
+  ASSERT_EQ(rig.sup.status()[0].state, BreakerState::kOpen);
+
+  // The second term routes to backend 1: the backend-0 accumulator is
+  // migrated by replaying its retained raw pair (two lazy prepares), and the
+  // verified sum still matches the reference across the boundary.
+  const auto a1 = ring::Poly::random(rng, kQ);
+  const auto s1 = ring::SecretPoly::random(rng, 4);
+  m->pointwise_accumulate(acc, m->prepare_public(a1, kQ), m->prepare_secret(s1, kQ));
+  auto expect = ref.multiply_secret(a0, s0, kQ);
+  ring::add_inplace(expect, ref.multiply_secret(a1, s1, kQ), kQ);
+  EXPECT_EQ(m->finalize(acc, kQ), expect);
+  const auto st = rig.sup.status();
+  EXPECT_EQ(st[1].lazy_prepares, 2u);  // the replayed (a0, s0) pair
+  EXPECT_EQ(st[1].calls, 1u);          // just the finalize; the rest ran on 0
+}
+
 TEST(BackendSupervisor, RawTransformsAreRejected) {
   BackendSupervisor sup({"toom4", "ntt"});
   const auto m = sup.make_worker_multiplier();

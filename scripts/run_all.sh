@@ -10,7 +10,11 @@ cd "$(dirname "$0")/.."
 cmake --preset release
 cmake --build --preset release
 
-ctest --test-dir build-release 2>&1 | tee test_output.txt
+# Static-analysis gate first (cheap, fails fast): clang-tidy when installed,
+# plus the secret-flow lint backing the runtime taint audit (`ctest -L ct`).
+scripts/static_analysis.sh 2>&1 | tee test_output.txt
+
+ctest --test-dir build-release 2>&1 | tee -a test_output.txt
 
 # Deeper randomized conformance sweep than the tier-1 default (4 iters): every
 # backend and every architecture core against schoolbook, failing iterations
@@ -34,6 +38,16 @@ SABER_CONFORMANCE_ITERS=6 ctest --test-dir build-asan -L conformance \
 # the detect / retry / failover machinery and the architecture fault hooks
 # all execute, and the run fails on any silent corruption.
 ./build-asan/bench/bench_fault_campaign --smoke 2>&1 | tee -a test_output.txt
+
+# Third sanitizer pass, ThreadSanitizer, over the threaded suites: the
+# thread pool, the batch KEM pipeline, the supervisor failover machinery and
+# the shared-instance fault-monitor polling. Any data-race report fails the
+# run (TSan exits nonzero).
+cmake --preset tsan
+cmake --build --preset tsan
+ctest --test-dir build-tsan -L robust 2>&1 | tee -a test_output.txt
+./build-tsan/tests/common_test --gtest_filter='ThreadPool*' 2>&1 | tee -a test_output.txt
+./build-tsan/tests/batch_test 2>&1 | tee -a test_output.txt
 
 {
   for b in build-release/bench/*; do

@@ -1,0 +1,74 @@
+// Constant-time byte-string primitives shared by the KEM layer and the
+// secret-independence audit.
+//
+// The Fujisaki-Okamoto re-encryption compare and the implicit-rejection
+// select are the two places where a branch on secret-derived data would turn
+// the CCA transform into a decryption oracle. Both are implemented here as
+// word-generic, branch-free kernels: production instantiates them over plain
+// u8, the ct_audit build over ct::Tainted<u8>, so the audited code path IS
+// the production code path.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "ct/tainted.hpp"
+
+namespace saber {
+
+/// Constant-time byte-equality over possibly-mixed word types: returns 0x00
+/// for equal, 0xff for different, as the tainted analog when either input
+/// carries taint. The accumulated difference never feeds a branch; it is
+/// collapsed to a full mask arithmetically.
+template <typename A, typename B>
+auto ct_differ_g(std::span<const A> a, std::span<const B> b) {
+  using R = std::conditional_t<ct::is_tainted_v<A>, A, B>;
+  SABER_REQUIRE(a.size() == b.size(), "length mismatch in comparison");
+  R acc{0};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = ct::cast<u8>(acc | (a[i] ^ b[i]));
+  }
+  // acc | (0 - acc) has its top bit set iff acc != 0; spread it to a mask.
+  const auto neg = ct::cast<u8>(u32{0} - ct::cast<u32>(acc));
+  const auto bit = ct::cast<u32>(acc | neg) >> 7;
+  return ct::cast<u8>(u32{0} - bit);
+}
+
+/// Constant-time conditional move: dst = mask ? src : dst (mask 0x00/0xff).
+template <typename B, typename M>
+void ct_cmov_g(std::span<B> dst, std::span<const B> src, const M& mask) {
+  SABER_REQUIRE(dst.size() == src.size(), "length mismatch in conditional move");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = ct::cast<u8>(dst[i] ^ (mask & (dst[i] ^ src[i])));
+  }
+}
+
+/// Plain-byte entry points (the historical kem.cpp helpers).
+inline u8 ct_differ(std::span<const u8> a, std::span<const u8> b) {
+  return ct_differ_g(a, b);
+}
+inline void ct_cmov(std::span<u8> dst, std::span<const u8> src, u8 mask) {
+  ct_cmov_g(dst, src, mask);
+}
+
+/// Audited declassification of a whole byte span (one logged event for the
+/// span, not one per byte). Used for data that is public by construction but
+/// travels inside a secret-tainted container — e.g. the public key embedded
+/// in the KEM secret key blob. A plain copy in production builds.
+template <typename B>
+std::vector<u8> declassify_bytes(std::span<const B> s, const char* site) {
+  std::vector<u8> out(s.size());
+  if constexpr (ct::is_tainted_v<B>) {
+    ct::Analysis::instance().record_declassify(site);
+    for (std::size_t i = 0; i < s.size(); ++i) out[i] = s[i].raw();
+  } else {
+    (void)site;
+    std::copy(s.begin(), s.end(), out.begin());
+  }
+  return out;
+}
+
+}  // namespace saber

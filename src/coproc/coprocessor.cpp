@@ -235,7 +235,7 @@ void Coprocessor::execute(const Instruction& ins, CycleLedger& ledger) {
     void operator()(const OpStoreAccEncode& op) const {
       const auto msg = cp.view(op.msg);
       store_acc(op.out, op.et, [&](std::size_t i, u16 a) {
-        const u32 m = (msg[i / 8] >> (i % 8)) & 1u;
+        const u32 m = (static_cast<u32>(msg[i / 8]) >> (i % 8)) & 1u;
         const u32 v = static_cast<u32>(a) + op.h1 + (u32{1} << op.ep) -
                       (m << (op.ep - 1));
         return static_cast<u16>(low_bits(v, op.ep) >> (op.ep - op.et));

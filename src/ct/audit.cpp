@@ -1,0 +1,339 @@
+#include "ct/audit.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/ctops.hpp"
+#include "mult/karatsuba.hpp"
+#include "mult/ntt.hpp"
+#include "mult/toomcook.hpp"
+#include "saber/flows.hpp"
+#include "saber/kem.hpp"
+
+namespace saber::ct {
+
+namespace {
+
+constexpr std::size_t kN = ring::kN;
+
+using TB = Tainted<u8>;
+using TC = Tainted<u16>;
+using TS = Tainted<i8>;
+using TW = Tainted<i64>;
+using TU = Tainted<u64>;
+using TPoly = ring::PolyT<kN, TC>;
+using TSecretPoly = ring::SecretPolyT<kN, TS>;
+
+// --- public-operand promotion ----------------------------------------------
+// Public polynomials enter the tainted kernels as untainted Tainted words:
+// the values are public, so their taint bits stay clear and only genuinely
+// secret-derived data propagates taint through the products.
+
+TPoly promote_poly(const ring::Poly& p) {
+  TPoly t;
+  for (std::size_t i = 0; i < kN; ++i) t[i] = p[i];
+  return t;
+}
+
+ring::PolyMatrixT<TC> promote_matrix(const ring::PolyMatrix& a) {
+  ring::PolyMatrixT<TC> t(a.rows(), a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) t.at(r, c) = promote_poly(a.at(r, c));
+  }
+  return t;
+}
+
+ring::PolyVecOf<TC> promote_vec(const ring::PolyVec& v) {
+  ring::PolyVecOf<TC> t(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) t[i] = promote_poly(v[i]);
+  return t;
+}
+
+// --- tainted negacyclic multiplication per backend -------------------------
+// Each body is the production algorithm's word-generic kernel instantiated
+// over Tainted<i64>/Tainted<u64> lanes; tables, recursion shapes and loop
+// bounds are public.
+
+using TaintedMul = std::function<TPoly(const TPoly&, const TSecretPoly&, unsigned)>;
+
+std::vector<TW> lift_secret(const TSecretPoly& s) {
+  std::vector<TW> sv(kN);
+  for (std::size_t i = 0; i < kN; ++i) sv[i] = cast<i64>(s[i]);
+  return sv;
+}
+
+TPoly mul_schoolbook(const TPoly& a, const TSecretPoly& s, unsigned qbits) {
+  mult::OpCounts ops;
+  const auto av = mult::centered_lift(a, qbits);
+  const auto sv = lift_secret(s);
+  std::vector<TW> out(2 * kN - 1, TW{0});
+  mult::schoolbook_conv_g(std::span<const TW>(av), std::span<const TW>(sv),
+                          std::span<TW>(out), ops);
+  return mult::fold_negacyclic_g<kN, TW>(std::span<const TW>(out), qbits);
+}
+
+TPoly mul_karatsuba(const TPoly& a, const TSecretPoly& s, unsigned qbits) {
+  mult::OpCounts ops;
+  const auto av = mult::centered_lift(a, qbits);
+  const auto sv = lift_secret(s);
+  std::vector<TW> out(2 * kN - 1, TW{0});
+  mult::karatsuba_conv_g(std::span<const TW>(av), std::span<const TW>(sv),
+                         std::span<TW>(out), /*levels=*/8, ops);
+  return mult::fold_negacyclic_g<kN, TW>(std::span<const TW>(out), qbits);
+}
+
+TPoly mul_toom(const TPoly& a, const TSecretPoly& s, unsigned qbits, unsigned parts) {
+  mult::OpCounts ops;
+  const auto& t = mult::toom_tables(parts);
+  auto av = mult::centered_lift(a, qbits);
+  auto sv = lift_secret(s);
+  av.resize(t.padded_len, TW{0});
+  sv.resize(t.padded_len, TW{0});
+
+  const auto ea = mult::toom_evaluate_g(std::span<const TW>(av), t, ops);
+  const auto eb = mult::toom_evaluate_g(std::span<const TW>(sv), t, ops);
+
+  const std::size_t part = t.part_len;
+  std::vector<TW> prods(static_cast<std::size_t>(t.points) * (2 * part - 1), TW{0});
+  for (unsigned i = 0; i < t.points; ++i) {
+    mult::karatsuba_conv_g(
+        std::span<const TW>(ea).subspan(i * part, part),
+        std::span<const TW>(eb).subspan(i * part, part),
+        std::span<TW>(prods).subspan(static_cast<std::size_t>(i) * (2 * part - 1),
+                                     2 * part - 1),
+        /*levels=*/32, ops);
+  }
+
+  std::vector<TW> out(2 * t.padded_len - 1, TW{0});
+  mult::toom_interpolate_acc_g(std::span<const TW>(prods), part, t,
+                               std::span<TW>(out), ops);
+  // The padded tail is provably zero (plain builds assert it); checking it
+  // here would branch on tainted values, so the audit just drops it.
+  return mult::fold_negacyclic_g<kN, TW>(
+      std::span<const TW>(out.data(), 2 * kN - 1), qbits);
+}
+
+TPoly mul_ntt(const TPoly& a, const TSecretPoly& s, unsigned qbits) {
+  mult::OpCounts ops;
+  const auto& t = mult::ntt_tables();
+  std::array<TU, kN> va{}, vs{};
+  for (std::size_t i = 0; i < kN; ++i) {
+    va[i] = mult::ntt_to_residue_g(centered_g(a[i], qbits));
+    vs[i] = mult::ntt_to_residue_g(cast<i64>(s[i]));
+  }
+  mult::ntt_forward_g(va, t, ops);
+  mult::ntt_forward_g(vs, t, ops);
+  for (std::size_t i = 0; i < kN; ++i) va[i] = mult::ntt_mulmod_g(va[i], vs[i]);
+  mult::ntt_inverse_g(va, t, ops);
+
+  TPoly r;
+  for (std::size_t i = 0; i < kN; ++i) {
+    r[i] = cast<u16>(to_twos_complement_g(mult::ntt_from_residue_g(va[i]), qbits));
+  }
+  return r;
+}
+
+TaintedMul make_tainted_mul(std::string_view name) {
+  if (name == "schoolbook") return mul_schoolbook;
+  if (name == "karatsuba-8") return mul_karatsuba;
+  if (name == "toom3") {
+    return [](const TPoly& a, const TSecretPoly& s, unsigned qbits) {
+      return mul_toom(a, s, qbits, 3);
+    };
+  }
+  if (name == "toom4") {
+    return [](const TPoly& a, const TSecretPoly& s, unsigned qbits) {
+      return mul_toom(a, s, qbits, 4);
+    };
+  }
+  if (name == "ntt") return mul_ntt;
+  SABER_REQUIRE(false, "unknown audit backend");
+  return {};
+}
+
+// --- comparison helpers (peek: audit-internal conformance checks) ----------
+
+template <typename TaintedRange, typename PlainRange>
+bool peek_eq(const TaintedRange& t, const PlainRange& p) {
+  if (t.size() != p.size()) return false;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (peek(t[i]) != p[i]) return false;
+  }
+  return true;
+}
+
+template <typename Range>
+bool all_tainted(const Range& r) {
+  return std::all_of(r.begin(), r.end(), [](const auto& w) { return is_tainted(w); });
+}
+
+template <std::size_t N>
+std::array<TB, N> taint_array(const std::array<u8, N>& src) {
+  std::array<TB, N> out{};
+  for (std::size_t i = 0; i < N; ++i) out[i] = TB(src[i], /*taint=*/true);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string_view> audit_backend_names() {
+  return {"schoolbook", "karatsuba-8", "toom3", "toom4", "ntt"};
+}
+
+std::vector<std::string_view> declassify_allowlist() {
+  return {"secret-bound-check", "keygen-pk-publish", "encaps-ct-publish",
+          "decaps-embedded-pk", "decaps-embedded-pk-hash"};
+}
+
+AuditResult audit_kem_roundtrip(std::string_view backend,
+                                const kem::SaberParams& params) {
+  AuditResult res;
+  res.backend = std::string(backend);
+  res.param_set = std::string(params.name);
+
+  // Deterministic inputs shared with the production reference run.
+  kem::Seed seed_a{}, seed_s{};
+  kem::SharedSecret z{};
+  kem::Message m_raw{};
+  for (std::size_t i = 0; i < seed_a.size(); ++i) {
+    seed_a[i] = static_cast<u8>(i + 1);
+    seed_s[i] = static_cast<u8>(0x5A ^ (3 * i));
+    z[i] = static_cast<u8>(0xC3 ^ i);
+    m_raw[i] = static_cast<u8>(0x3C ^ (5 * i));
+  }
+
+  // Production reference (plain words, same backend, same seeds).
+  kem::SaberKemScheme scheme(params, backend);
+  const auto ref_kp = scheme.keygen_deterministic(seed_a, seed_s, z);
+  const auto ref_enc = scheme.encaps_deterministic(ref_kp.pk, m_raw);
+  const auto ref_key = scheme.decaps(ref_enc.ct, ref_kp.sk);
+  auto tampered_ct = ref_enc.ct;
+  tampered_ct[0] ^= 0x01;
+  const auto ref_rejected = scheme.decaps(tampered_ct, ref_kp.sk);
+
+  // Tainted run over the identical flow kernels.
+  const auto mul = make_tainted_mul(backend);
+  Analysis::instance().reset();
+  const auto tseed_s = taint_array(seed_s);
+  const auto tz = taint_array(z);
+  const auto tm_raw = taint_array(m_raw);
+
+  auto mat_vec = [&](const ring::PolyMatrix& a, const ring::SecretVecOf<TS>& s,
+                     bool transpose) {
+    return ring::matrix_vector_mul(promote_matrix(a), s, mul,
+                                   kem::SaberParams::eq, transpose);
+  };
+  auto products = [&](const ring::PolyMatrix& a, const ring::PolyVec& b,
+                      const ring::SecretVecOf<TS>& sp) {
+    auto bp = ring::matrix_vector_mul(promote_matrix(a), sp, mul,
+                                      kem::SaberParams::eq, /*transpose=*/false);
+    auto vp = ring::inner_product(promote_vec(b), sp, mul, kem::SaberParams::ep);
+    return std::pair{std::move(bp), std::move(vp)};
+  };
+  auto inner = [&](const ring::PolyVec& bp, const ring::SecretVecOf<TS>& s,
+                   unsigned qbits) {
+    return ring::inner_product(promote_vec(bp), s, mul, qbits);
+  };
+  auto encrypt = [&](const kem::MessageT<TB>& m, const kem::SeedT<TB>& r,
+                     std::span<const u8> pk) {
+    return kem::flows::encrypt_flow(m, std::span<const TB>(r), pk, params, products);
+  };
+  auto decrypt = [&](std::span<const u8> c, std::span<const TB> pke_sk) {
+    return kem::flows::decrypt_flow(c, pke_sk, params, inner);
+  };
+
+  // KeyGen; the packed pk is declassified at publication.
+  auto pke_keys = kem::flows::keygen_flow(seed_a, std::span<const TB>(tseed_s),
+                                          params, mat_vec);
+  auto kp = kem::flows::kem_assemble_flow(std::move(pke_keys),
+                                          std::span<const TB>(tz), params);
+  const auto pk_pub =
+      declassify_bytes(std::span<const TB>(kp.pk), "keygen-pk-publish");
+
+  // Encaps with tainted coins; the ciphertext is declassified at publication.
+  auto enc = kem::flows::encaps_flow(
+      std::span<const u8>(pk_pub), tm_raw,
+      [&](const kem::MessageT<TB>& m, const kem::SeedT<TB>& r) {
+        return encrypt(m, r, pk_pub);
+      });
+  const auto ct_pub =
+      declassify_bytes(std::span<const TB>(enc.ct), "encaps-ct-publish");
+
+  // Decaps of the honest ciphertext and of a tampered one: the second run
+  // drives the implicit-rejection select with fail = 0xff and must be exactly
+  // as silent as the first (the FO mask never escapes).
+  const auto key = kem::flows::decaps_flow(std::span<const u8>(ct_pub),
+                                           std::span<const TB>(kp.sk), params,
+                                           decrypt, encrypt);
+  const auto rejected = kem::flows::decaps_flow(std::span<const u8>(tampered_ct),
+                                                std::span<const TB>(kp.sk), params,
+                                                decrypt, encrypt);
+
+  res.violations = Analysis::instance().violations();
+  res.declassifications = Analysis::instance().declassifications();
+
+  // Taint must reach every secret-derived output: the packed b part of the
+  // pk (its seed_A tail is public), the whole ciphertext and all three keys.
+  const auto b_part = std::span<const TB>(kp.pk).first(params.pk_bytes() -
+                                                       kem::SaberParams::seed_bytes);
+  res.outputs_tainted = all_tainted(b_part) && all_tainted(enc.ct) &&
+                        all_tainted(enc.key) && all_tainted(key) &&
+                        all_tainted(rejected);
+
+  res.conforms = pk_pub == ref_kp.pk && peek_eq(kp.sk, ref_kp.sk) &&
+                 ct_pub == ref_enc.ct && peek_eq(enc.key, ref_enc.key) &&
+                 peek_eq(key, ref_key) && peek_eq(rejected, ref_rejected);
+  return res;
+}
+
+std::vector<AuditResult> audit_backends(const kem::SaberParams& params) {
+  std::vector<AuditResult> out;
+  for (const auto name : audit_backend_names()) {
+    out.push_back(audit_kem_roundtrip(name, params));
+  }
+  return out;
+}
+
+std::vector<CtViolation> run_canary_kernels() {
+  Analysis::instance().reset();
+  SiteScope scope("canary");
+
+  std::array<TB, 8> a{}, b{};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = TB(static_cast<u8>(i * 17 + 2), true);
+    b[i] = TB(static_cast<u8>(i * 17 + 2), true);
+  }
+  b[7] = TB(0x63, true);
+
+  // Early-exit comparison: the classic memcmp leak. The loop branches on
+  // secret bytes (kBranch) and the exit position leaks the match length.
+  bool equal = true;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) {
+      equal = false;
+      break;
+    }
+  }
+  (void)equal;
+
+  // Secret-indexed table lookup: the index escapes the taint lattice
+  // (kEscape) — a cache-timing leak on real hardware.
+  static constexpr u8 kTable[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+  const u8 looked_up = kTable[a[2] & 7];
+  (void)looked_up;
+
+  // Variable-latency arithmetic on secrets: division, modulo, and a shift
+  // whose amount is secret.
+  const auto quotient = a[3] / u8{3};         // kDivision
+  const auto remainder = a[4] % u8{3};        // kModulo
+  const auto shifted = u32{1} << (a[5] & 7);  // kShiftAmount
+  (void)quotient;
+  (void)remainder;
+  (void)shifted;
+
+  return Analysis::instance().violations();
+}
+
+}  // namespace saber::ct

@@ -1,0 +1,39 @@
+#include "ct/tainted.hpp"
+
+namespace saber::ct {
+
+std::string_view to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kBranch: return "branch";
+    case ViolationKind::kDivision: return "division";
+    case ViolationKind::kModulo: return "modulo";
+    case ViolationKind::kShiftAmount: return "shift-amount";
+    case ViolationKind::kEscape: return "escape";
+  }
+  return "?";
+}
+
+Analysis& Analysis::instance() {
+  thread_local Analysis state;
+  return state;
+}
+
+std::string Analysis::site_path() const {
+  std::string path;
+  for (const char* s : sites_) {
+    if (!path.empty()) path += '/';
+    path += s;
+  }
+  if (path.empty()) path = "<untagged>";
+  return path;
+}
+
+void Analysis::record(ViolationKind kind) {
+  violations_.push_back(CtViolation{kind, site_path()});
+}
+
+void Analysis::record_declassify(const char* site) {
+  declassifications_.push_back(DeclassifyEvent{site, site_path()});
+}
+
+}  // namespace saber::ct

@@ -1,62 +1,12 @@
 #include "mult/karatsuba.hpp"
 
-#include <algorithm>
-#include <vector>
-
 #include "common/check.hpp"
-#include "mult/schoolbook.hpp"
 
 namespace saber::mult {
 
-namespace {
-
-// out must be zero-initialized by the caller; results are accumulated so the
-// recombination can write into overlapping regions without scratch copies.
-void karatsuba_rec(std::span<const i64> a, std::span<const i64> b, std::span<i64> out,
-                   unsigned levels, OpCounts& ops) {
-  const std::size_t n = a.size();
-  SABER_REQUIRE(b.size() == n, "operands must have equal length");
-  if (levels == 0 || n == 1 || n % 2 != 0) {
-    std::vector<i64> tmp(2 * n - 1);
-    schoolbook_conv(a, b, tmp, ops);
-    for (std::size_t i = 0; i < tmp.size(); ++i) out[i] += tmp[i];
-    ops.coeff_adds += tmp.size();
-    return;
-  }
-
-  const std::size_t h = n / 2;
-  const auto a0 = a.first(h), a1 = a.subspan(h);
-  const auto b0 = b.first(h), b1 = b.subspan(h);
-
-  // z0 = a0*b0, z2 = a1*b1, z1 = (a0+a1)(b0+b1) - z0 - z2.
-  std::vector<i64> z0(2 * h - 1, 0), z2(2 * h - 1, 0), zm(2 * h - 1, 0);
-  karatsuba_rec(a0, b0, z0, levels - 1, ops);
-  karatsuba_rec(a1, b1, z2, levels - 1, ops);
-
-  std::vector<i64> as(h), bs(h);
-  for (std::size_t i = 0; i < h; ++i) {
-    as[i] = a0[i] + a1[i];
-    bs[i] = b0[i] + b1[i];
-  }
-  ops.coeff_adds += 2 * h;
-  karatsuba_rec(as, bs, zm, levels - 1, ops);
-
-  for (std::size_t i = 0; i < 2 * h - 1; ++i) {
-    const i64 z1 = zm[i] - z0[i] - z2[i];
-    out[i] += z0[i];
-    out[i + h] += z1;
-    out[i + 2 * h] += z2[i];
-  }
-  ops.coeff_adds += 5 * (2 * h - 1);
-}
-
-}  // namespace
-
 void karatsuba_conv(std::span<const i64> a, std::span<const i64> b, std::span<i64> out,
                     unsigned levels, OpCounts& ops) {
-  SABER_REQUIRE(out.size() == a.size() + b.size() - 1, "output length mismatch");
-  std::ranges::fill(out, 0);
-  karatsuba_rec(a, b, out, levels, ops);
+  karatsuba_conv_g(a, b, out, levels, ops);
 }
 
 KaratsubaMultiplier::KaratsubaMultiplier(unsigned levels)
@@ -73,9 +23,9 @@ ring::Poly KaratsubaMultiplier::multiply(const ring::Poly& a, const ring::Poly& 
 
 void KaratsubaMultiplier::conv_accumulate(std::span<const i64> a, std::span<const i64> s,
                                           std::span<i64> acc) const {
-  // karatsuba_rec accumulates into a zeroed buffer, so it can add straight
+  // karatsuba_rec_g accumulates into a zeroed buffer, so it can add straight
   // into the batch accumulator with no scratch product buffer.
-  karatsuba_rec(a, s, acc, levels_, ops_);
+  karatsuba_acc_g(a, s, acc, levels_, ops_);
 }
 
 }  // namespace saber::mult

@@ -6,9 +6,78 @@
 // Karatsuba/schoolbook trade-offs used by software implementations [6].
 #pragma once
 
+#include <vector>
+
 #include "mult/multiplier.hpp"
+#include "mult/schoolbook.hpp"
 
 namespace saber::mult {
+
+namespace detail {
+
+// out must be zero-initialized by the caller; results are accumulated so the
+// recombination can write into overlapping regions without scratch copies.
+// The recursion shape depends only on operand lengths and `levels` — public
+// values — so the kernel is constant-time in the data for any word type.
+template <typename W>
+void karatsuba_rec_g(std::span<const W> a, std::span<const W> b, std::span<W> out,
+                     unsigned levels, OpCounts& ops) {
+  const std::size_t n = a.size();
+  SABER_REQUIRE(b.size() == n, "operands must have equal length");
+  if (levels == 0 || n == 1 || n % 2 != 0) {
+    std::vector<W> tmp(2 * n - 1);
+    schoolbook_conv_g(std::span<const W>(a), std::span<const W>(b), std::span<W>(tmp),
+                      ops);
+    for (std::size_t i = 0; i < tmp.size(); ++i) out[i] += tmp[i];
+    ops.coeff_adds += tmp.size();
+    return;
+  }
+
+  const std::size_t h = n / 2;
+  const auto a0 = a.first(h), a1 = a.subspan(h);
+  const auto b0 = b.first(h), b1 = b.subspan(h);
+
+  // z0 = a0*b0, z2 = a1*b1, z1 = (a0+a1)(b0+b1) - z0 - z2.
+  std::vector<W> z0(2 * h - 1, W{0}), z2(2 * h - 1, W{0}), zm(2 * h - 1, W{0});
+  karatsuba_rec_g<W>(a0, b0, z0, levels - 1, ops);
+  karatsuba_rec_g<W>(a1, b1, z2, levels - 1, ops);
+
+  std::vector<W> as(h), bs(h);
+  for (std::size_t i = 0; i < h; ++i) {
+    as[i] = a0[i] + a1[i];
+    bs[i] = b0[i] + b1[i];
+  }
+  ops.coeff_adds += 2 * h;
+  karatsuba_rec_g<W>(as, bs, zm, levels - 1, ops);
+
+  for (std::size_t i = 0; i < 2 * h - 1; ++i) {
+    const W z1 = zm[i] - z0[i] - z2[i];
+    out[i] += z0[i];
+    out[i + h] += z1;
+    out[i + 2 * h] += z2[i];
+  }
+  ops.coeff_adds += 5 * (2 * h - 1);
+}
+
+}  // namespace detail
+
+/// Word-generic Karatsuba linear convolution, splitting `levels` times (or
+/// until operands shrink to a single coefficient).
+template <typename W>
+void karatsuba_conv_g(std::span<const W> a, std::span<const W> b, std::span<W> out,
+                      unsigned levels, OpCounts& ops) {
+  SABER_REQUIRE(out.size() == a.size() + b.size() - 1, "output length mismatch");
+  std::ranges::fill(out, W{0});
+  detail::karatsuba_rec_g<W>(a, b, out, levels, ops);
+}
+
+/// Word-generic accumulating form: adds the convolution into `acc` (which
+/// must already hold the running sum).
+template <typename W>
+void karatsuba_acc_g(std::span<const W> a, std::span<const W> b, std::span<W> acc,
+                     unsigned levels, OpCounts& ops) {
+  detail::karatsuba_rec_g<W>(a, b, acc, levels, ops);
+}
 
 class KaratsubaMultiplier final : public PolyMultiplier {
  public:

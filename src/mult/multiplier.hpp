@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "ct/tainted.hpp"
 #include "ring/poly.hpp"
 
 namespace saber::mult {
@@ -130,16 +131,24 @@ class PolyMultiplier {
 
 /// Negacyclic fold of a signed linear convolution (length 2N-1) followed by
 /// reduction mod 2^qbits. Shared by all convolution-based algorithms.
-template <std::size_t N>
-ring::PolyT<N> fold_negacyclic(std::span<const i64> conv, unsigned qbits) {
+/// Word-generic: W is the i64 analog (plain or tainted); indices are public.
+template <std::size_t N, typename W>
+ring::PolyT<N, ct::rebind_t<W, u16>> fold_negacyclic_g(std::span<const W> conv,
+                                                       unsigned qbits) {
   SABER_REQUIRE(conv.size() == 2 * N - 1, "convolution length mismatch");
-  ring::PolyT<N> r;
+  ring::PolyT<N, ct::rebind_t<W, u16>> r;
   for (std::size_t i = 0; i < N; ++i) {
-    i64 v = conv[i];
+    W v = conv[i];
     if (i + N < conv.size()) v -= conv[i + N];
-    r[i] = static_cast<u16>(to_twos_complement(v, qbits) & mask64(qbits));
+    r[i] = ct::cast<u16>(ct::to_twos_complement_g(v, qbits));
   }
   return r;
+}
+
+/// Plain-word entry point (the original API).
+template <std::size_t N>
+ring::PolyT<N> fold_negacyclic(std::span<const i64> conv, unsigned qbits) {
+  return fold_negacyclic_g<N, i64>(conv, qbits);
 }
 
 /// Reduce a finalize_witness() result to the product polynomial: negacyclic
@@ -159,11 +168,13 @@ ring::PolyT<N> reduce_witness(std::span<const i64> w, unsigned qbits) {
 
 /// Centered coefficient lift used before integer convolution: interpreting
 /// each coefficient mod 2^qbits as a signed value in [-q/2, q/2) keeps the
-/// convolution values small without changing the result mod q.
-template <std::size_t N>
-std::vector<i64> centered_lift(const ring::PolyT<N>& p, unsigned qbits) {
-  std::vector<i64> v(N);
-  for (std::size_t i = 0; i < N; ++i) v[i] = ring::centered(p[i], qbits);
+/// convolution values small without changing the result mod q. Word-generic
+/// (and branch-free: the lift is a sign extension of the low qbits).
+template <std::size_t N, typename C>
+std::vector<ct::rebind_t<C, i64>> centered_lift(const ring::PolyT<N, C>& p,
+                                                unsigned qbits) {
+  std::vector<ct::rebind_t<C, i64>> v(N);
+  for (std::size_t i = 0; i < N; ++i) v[i] = ct::centered_g(p[i], qbits);
   return v;
 }
 

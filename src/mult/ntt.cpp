@@ -1,7 +1,6 @@
 #include "mult/ntt.hpp"
 
 #include "common/check.hpp"
-#include "mult/modmath.hpp"
 
 namespace saber::mult {
 
@@ -16,72 +15,43 @@ constexpr unsigned brv8(unsigned x) {
   return r;
 }
 
-}  // namespace
-
-NttMultiplier::NttMultiplier() {
-  constexpr u64 p = kPrime;
-  SABER_ENSURE((p - 1) % (2 * kN) == 0, "prime does not support 2N-th roots");
-  const u64 psi = powmod(kGenerator, (p - 1) / (2 * kN), p);
-  SABER_ENSURE(powmod(psi, kN, p) == p - 1, "psi is not a primitive 2N-th root");
+NttTables make_ntt_tables() {
+  constexpr u64 p = kNttPrime;
+  constexpr std::size_t n = ring::kN;
+  SABER_ENSURE((p - 1) % (2 * n) == 0, "prime does not support 2N-th roots");
+  const u64 psi = powmod(NttMultiplier::kGenerator, (p - 1) / (2 * n), p);
+  SABER_ENSURE(powmod(psi, n, p) == p - 1, "psi is not a primitive 2N-th root");
   const u64 psi_inv = invmod_prime(psi, p);
-  for (unsigned i = 0; i < kN; ++i) {
-    zetas_[i] = powmod(psi, brv8(i), p);
-    zetas_inv_[i] = powmod(psi_inv, brv8(i), p);
+  NttTables t;
+  for (unsigned i = 0; i < n; ++i) {
+    t.zetas[i] = powmod(psi, brv8(i), p);
+    t.zetas_inv[i] = powmod(psi_inv, brv8(i), p);
   }
-  n_inv_ = invmod_prime(kN, p);
+  t.n_inv = invmod_prime(n, p);
+  return t;
 }
 
+}  // namespace
+
+const NttTables& ntt_tables() {
+  static const NttTables t = make_ntt_tables();
+  return t;
+}
+
+NttMultiplier::NttMultiplier() { (void)ntt_tables(); }
+
 void NttMultiplier::forward(std::array<u64, kN>& v) const {
-  constexpr u64 p = kPrime;
-  std::size_t k = 1;
-  for (std::size_t len = kN / 2; len >= 1; len >>= 1) {
-    for (std::size_t start = 0; start < kN; start += 2 * len) {
-      const u64 zeta = zetas_[k++];
-      for (std::size_t j = start; j < start + len; ++j) {
-        const u64 t = mulmod(zeta, v[j + len], p);
-        v[j + len] = submod(v[j], t, p);
-        v[j] = addmod(v[j], t, p);
-      }
-    }
-  }
-  ops_.coeff_mults += kN / 2 * 8;
-  ops_.coeff_adds += kN * 8;
+  ntt_forward_g(v, ntt_tables(), ops_);
 }
 
 void NttMultiplier::inverse(std::array<u64, kN>& v) const {
-  constexpr u64 p = kPrime;
-  for (std::size_t len = 1; len < kN; len <<= 1) {
-    // Mirror the forward stage exactly: the forward pass gave the g-th group
-    // of the stage with this `len` the twiddle index N/(2*len) + g.
-    const std::size_t k_base = kN / (2 * len);
-    std::size_t g = 0;
-    for (std::size_t start = 0; start < kN; start += 2 * len, ++g) {
-      const u64 zeta_inv = zetas_inv_[k_base + g];
-      for (std::size_t j = start; j < start + len; ++j) {
-        const u64 t = v[j];
-        v[j] = addmod(t, v[j + len], p);
-        v[j + len] = mulmod(zeta_inv, submod(t, v[j + len], p), p);
-      }
-    }
-  }
-  for (auto& x : v) x = mulmod(x, n_inv_, p);
-  ops_.coeff_mults += kN / 2 * 8 + kN;
-  ops_.coeff_adds += kN * 8;
+  ntt_inverse_g(v, ntt_tables(), ops_);
 }
-
-namespace {
-
-// Lift a centered i64 value into [0, p).
-u64 to_residue(i64 c, u64 p) {
-  return c >= 0 ? static_cast<u64>(c) : p - static_cast<u64>(-c);
-}
-
-}  // namespace
 
 Transformed NttMultiplier::prepare_public(const ring::Poly& a, unsigned qbits) const {
   std::array<u64, kN> v{};
   for (std::size_t i = 0; i < kN; ++i) {
-    v[i] = to_residue(ring::centered(a[i], qbits), kPrime);
+    v[i] = ntt_to_residue_g(static_cast<i64>(ring::centered(a[i], qbits)));
   }
   forward(v);
   return Transformed(v.begin(), v.end());
@@ -91,7 +61,7 @@ Transformed NttMultiplier::prepare_secret(const ring::SecretPoly& s,
                                           unsigned qbits) const {
   (void)qbits;  // small signed secrets embed directly; no centering needed
   std::array<u64, kN> v{};
-  for (std::size_t i = 0; i < kN; ++i) v[i] = to_residue(s[i], kPrime);
+  for (std::size_t i = 0; i < kN; ++i) v[i] = ntt_to_residue_g(i64{s[i]});
   forward(v);
   return Transformed(v.begin(), v.end());
 }
@@ -103,8 +73,8 @@ void NttMultiplier::pointwise_accumulate(Transformed& acc, const Transformed& a,
   SABER_REQUIRE(acc.size() == kN && a.size() == kN && s.size() == kN,
                 "operand not in the NTT transform domain");
   for (std::size_t i = 0; i < kN; ++i) {
-    const u64 prod = mulmod(static_cast<u64>(a[i]), static_cast<u64>(s[i]), kPrime);
-    acc[i] = static_cast<i64>(addmod(static_cast<u64>(acc[i]), prod, kPrime));
+    const u64 prod = ntt_mulmod_g(static_cast<u64>(a[i]), static_cast<u64>(s[i]));
+    acc[i] = static_cast<i64>(ntt_addmod_g(static_cast<u64>(acc[i]), prod));
   }
   ops_.coeff_mults += kN;
   ops_.coeff_adds += kN;
@@ -120,10 +90,7 @@ std::vector<i64> NttMultiplier::finalize_witness(const Transformed& acc) const {
   // finalize needs for exactness) this IS the exact integer negacyclic
   // remainder, length N.
   std::vector<i64> w(kN);
-  for (std::size_t i = 0; i < kN; ++i) {
-    w[i] = v[i] > kPrime / 2 ? static_cast<i64>(v[i]) - static_cast<i64>(kPrime)
-                             : static_cast<i64>(v[i]);
-  }
+  for (std::size_t i = 0; i < kN; ++i) w[i] = ntt_from_residue_g(v[i]);
   return w;
 }
 
@@ -138,28 +105,23 @@ ring::Poly NttMultiplier::finalize(const Transformed& acc, unsigned qbits) const
 
 ring::Poly NttMultiplier::multiply(const ring::Poly& a, const ring::Poly& b,
                                    unsigned qbits) const {
-  constexpr u64 p = kPrime;
   // Centered lift keeps the true integer product coefficients below
-  // N * (q/2)^2 = 2^36 in magnitude, far inside (-p/2, p/2).
+  // N * (q/2)^2 = 2^36 in magnitude, far inside (-p'/2, p'/2).
   std::array<u64, kN> va{}, vb{};
   for (std::size_t i = 0; i < kN; ++i) {
-    const i64 ca = ring::centered(a[i], qbits);
-    const i64 cb = ring::centered(b[i], qbits);
-    va[i] = ca >= 0 ? static_cast<u64>(ca) : p - static_cast<u64>(-ca);
-    vb[i] = cb >= 0 ? static_cast<u64>(cb) : p - static_cast<u64>(-cb);
+    va[i] = ntt_to_residue_g(static_cast<i64>(ring::centered(a[i], qbits)));
+    vb[i] = ntt_to_residue_g(static_cast<i64>(ring::centered(b[i], qbits)));
   }
   forward(va);
   forward(vb);
-  for (std::size_t i = 0; i < kN; ++i) va[i] = mulmod(va[i], vb[i], p);
+  for (std::size_t i = 0; i < kN; ++i) va[i] = ntt_mulmod_g(va[i], vb[i]);
   ops_.coeff_mults += kN;
   inverse(va);
 
   ring::Poly r;
   for (std::size_t i = 0; i < kN; ++i) {
     // Exact centered lift back to Z, then reduce mod 2^qbits.
-    const i64 c = va[i] > p / 2 ? static_cast<i64>(va[i]) - static_cast<i64>(p)
-                                : static_cast<i64>(va[i]);
-    r[i] = static_cast<u16>(to_twos_complement(c, qbits));
+    r[i] = static_cast<u16>(to_twos_complement(ntt_from_residue_g(va[i]), qbits));
   }
   return r;
 }

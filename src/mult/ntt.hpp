@@ -7,17 +7,77 @@
 // (= 4294967316 * 512 + 1, so 512th roots of unity exist) and the negacyclic
 // psi-twisted NTT; centered operand lifting keeps every true coefficient of
 // the integer product below p'/2 in magnitude, making the lift exact.
+//
+// The butterflies are word-generic and use the division-free mod-p'
+// primitives from modmath.hpp (twiddle indices and stage structure are
+// public; only the lane values carry secrets), so the identical kernel runs
+// over plain u64 residues in production and ct::Tainted<u64> under the
+// secret-independence audit.
 #pragma once
 
 #include <array>
 
+#include "mult/modmath.hpp"
 #include "mult/multiplier.hpp"
 
 namespace saber::mult {
 
+/// Twiddle factors in the order consumed by the Cooley-Tukey / Gentleman-
+/// Sande butterflies (powers of psi in bit-reversed order). Public data.
+struct NttTables {
+  std::array<u64, ring::kN> zetas{};
+  std::array<u64, ring::kN> zetas_inv{};
+  u64 n_inv = 0;
+};
+
+/// Build (once) and return the twiddle tables for kPrime / kGenerator.
+const NttTables& ntt_tables();
+
+/// Forward negacyclic NTT (psi-twisted, bit-reversed output) in place.
+template <typename W>
+void ntt_forward_g(std::array<W, ring::kN>& v, const NttTables& t, OpCounts& ops) {
+  constexpr std::size_t n = ring::kN;
+  std::size_t k = 1;
+  for (std::size_t len = n / 2; len >= 1; len >>= 1) {
+    for (std::size_t start = 0; start < n; start += 2 * len) {
+      const u64 zeta = t.zetas[k++];
+      for (std::size_t j = start; j < start + len; ++j) {
+        const W tw = ntt_mulmod_g(v[j + len], W{zeta});
+        v[j + len] = ntt_submod_g(v[j], tw);
+        v[j] = ntt_addmod_g(v[j], tw);
+      }
+    }
+  }
+  ops.coeff_mults += n / 2 * 8;
+  ops.coeff_adds += n * 8;
+}
+
+/// Inverse negacyclic NTT (bit-reversed input) in place.
+template <typename W>
+void ntt_inverse_g(std::array<W, ring::kN>& v, const NttTables& t, OpCounts& ops) {
+  constexpr std::size_t n = ring::kN;
+  for (std::size_t len = 1; len < n; len <<= 1) {
+    // Mirror the forward stage exactly: the forward pass gave the g-th group
+    // of the stage with this `len` the twiddle index N/(2*len) + g.
+    const std::size_t k_base = n / (2 * len);
+    std::size_t g = 0;
+    for (std::size_t start = 0; start < n; start += 2 * len, ++g) {
+      const u64 zeta_inv = t.zetas_inv[k_base + g];
+      for (std::size_t j = start; j < start + len; ++j) {
+        const W tw = v[j];
+        v[j] = ntt_addmod_g(tw, v[j + len]);
+        v[j + len] = ntt_mulmod_g(W{zeta_inv}, ntt_submod_g(tw, v[j + len]));
+      }
+    }
+  }
+  for (auto& x : v) x = ntt_mulmod_g(x, W{t.n_inv});
+  ops.coeff_mults += n / 2 * 8 + n;
+  ops.coeff_adds += n * 8;
+}
+
 class NttMultiplier final : public PolyMultiplier {
  public:
-  static constexpr u64 kPrime = 2199023265793ULL;  // 2^41 + 10241
+  static constexpr u64 kPrime = kNttPrime;  // 2^41 + 10241
   static constexpr u64 kGenerator = 5;
   static constexpr std::size_t kN = ring::kN;  // 256
 
@@ -57,13 +117,6 @@ class NttMultiplier final : public PolyMultiplier {
 
   /// Inverse negacyclic NTT (bit-reversed input) in place.
   void inverse(std::array<u64, kN>& v) const;
-
- private:
-  // Twiddle factors in the order consumed by the Cooley-Tukey / Gentleman-
-  // Sande butterflies (powers of psi in bit-reversed order).
-  std::array<u64, kN> zetas_{};
-  std::array<u64, kN> zetas_inv_{};
-  u64 n_inv_ = 0;
 };
 
 }  // namespace saber::mult

@@ -1,22 +1,12 @@
 #include "mult/schoolbook.hpp"
 
-#include <algorithm>
-
 #include "common/check.hpp"
 
 namespace saber::mult {
 
 void schoolbook_conv(std::span<const i64> a, std::span<const i64> b, std::span<i64> out,
                      OpCounts& ops) {
-  SABER_REQUIRE(out.size() == a.size() + b.size() - 1, "output length mismatch");
-  std::ranges::fill(out, 0);
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    for (std::size_t j = 0; j < b.size(); ++j) {
-      out[i + j] += a[i] * b[j];
-    }
-  }
-  ops.coeff_mults += a.size() * b.size();
-  ops.coeff_adds += a.size() * b.size();
+  schoolbook_conv_g(a, b, out, ops);
 }
 
 ring::Poly SchoolbookMultiplier::multiply(const ring::Poly& a, const ring::Poly& b,

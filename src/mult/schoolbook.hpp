@@ -3,9 +3,28 @@
 // cycle-accurate hardware model is checked.
 #pragma once
 
+#include <algorithm>
+
 #include "mult/multiplier.hpp"
 
 namespace saber::mult {
+
+/// Word-generic signed integer linear convolution,
+/// out.size() == a.size() + b.size() - 1. Purely multiply-accumulate with
+/// loop-counter indexing — constant-time in the data by construction.
+template <typename W>
+void schoolbook_conv_g(std::span<const W> a, std::span<const W> b, std::span<W> out,
+                       OpCounts& ops) {
+  SABER_REQUIRE(out.size() == a.size() + b.size() - 1, "output length mismatch");
+  std::ranges::fill(out, W{0});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += a[i] * b[j];
+    }
+  }
+  ops.coeff_mults += a.size() * b.size();
+  ops.coeff_adds += a.size() * b.size();
+}
 
 class SchoolbookMultiplier final : public PolyMultiplier {
  public:

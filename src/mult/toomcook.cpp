@@ -1,11 +1,9 @@
 #include "mult/toomcook.hpp"
 
 #include <algorithm>
-#include <array>
 #include <numeric>
 
 #include "common/check.hpp"
-#include "mult/karatsuba.hpp"
 
 namespace saber::mult {
 
@@ -84,26 +82,26 @@ std::vector<std::vector<Rational>> invert_evaluation_matrix(
   return inv;
 }
 
-}  // namespace
-
-ToomCookMultiplier::ToomCookMultiplier(unsigned parts)
-    : parts_(parts),
-      points_(2 * parts - 1),
-      name_("toom" + std::to_string(parts)) {
+ToomTables make_toom_tables(unsigned parts) {
   SABER_REQUIRE(parts == 3 || parts == 4, "supported Toom-Cook orders: 3, 4");
+  ToomTables t;
+  t.parts = parts;
+  t.points = 2 * parts - 1;
+  t.padded_len = ceil_div<std::size_t>(ring::kN, parts) * parts;
+  t.part_len = t.padded_len / parts;
   // Finite points 0, +1, -1, +2, -2, (+3); the last matrix row is infinity.
   const i64 candidates[] = {0, 1, -1, 2, -2, 3, -3};
-  eval_points_.assign(candidates, candidates + (points_ - 1));
+  t.eval_points.assign(candidates, candidates + (t.points - 1));
 
-  const auto inv = invert_evaluation_matrix(eval_points_, points_);
-  interp_num_.assign(points_, std::vector<i64>(points_));
-  interp_den_.assign(points_, 1);
-  for (unsigned r = 0; r < points_; ++r) {
+  const auto inv = invert_evaluation_matrix(t.eval_points, t.points);
+  t.interp_num.assign(t.points, std::vector<i64>(t.points));
+  t.interp_div.resize(t.points);
+  for (unsigned r = 0; r < t.points; ++r) {
     i64 lcm = 1;
-    for (unsigned c = 0; c < points_; ++c) lcm = std::lcm(lcm, inv[r][c].den);
-    interp_den_[r] = lcm;
-    for (unsigned c = 0; c < points_; ++c) {
-      interp_num_[r][c] = inv[r][c].num * (lcm / inv[r][c].den);
+    for (unsigned c = 0; c < t.points; ++c) lcm = std::lcm(lcm, inv[r][c].den);
+    t.interp_div[r] = make_exact_div(lcm);
+    for (unsigned c = 0; c < t.points; ++c) {
+      t.interp_num[r][c] = inv[r][c].num * (lcm / inv[r][c].den);
     }
   }
 
@@ -115,17 +113,17 @@ ToomCookMultiplier::ToomCookMultiplier(unsigned parts)
   // limb segments, and the negacyclic fold subtracts two coefficients
   // (factor 4 total). Cap T so the whole chain stays below 2^62.
   u64 amp = 1;  // the infinity row evaluates to the bare leading limb
-  for (const i64 x : eval_points_) {
+  for (const i64 x : t.eval_points) {
     const u64 ax = static_cast<u64>(x < 0 ? -x : x);
     u64 sum = 0, pw = 1;
-    for (unsigned l = 0; l < parts_; ++l) {
+    for (unsigned l = 0; l < parts; ++l) {
       sum += pw;
       pw *= ax;
     }
     amp = std::max(amp, sum);
   }
   u64 row_sum = 1;
-  for (const auto& row : interp_num_) {
+  for (const auto& row : t.interp_num) {
     u64 s = 0;
     for (const i64 v : row) s += static_cast<u64>(v < 0 ? -v : v);
     row_sum = std::max(row_sum, s);
@@ -133,78 +131,76 @@ ToomCookMultiplier::ToomCookMultiplier(unsigned parts)
   // Nested floor divisions only under-estimate the true quotient, which is
   // the conservative direction, and keep every intermediate inside u64
   // (per_term < 2^40 for both supported orders).
-  const u64 per_term = (static_cast<u64>(part_len()) * amp * amp) << (15 + 7);
-  max_terms_ = static_cast<std::size_t>((u64{1} << 62) / per_term / (row_sum * 4));
-  SABER_ENSURE(max_terms_ >= 4, "Toom-Cook headroom below Saber's rank");
+  const u64 per_term = (static_cast<u64>(t.part_len) * amp * amp) << (15 + 7);
+  t.max_terms = static_cast<std::size_t>((u64{1} << 62) / per_term / (row_sum * 4));
+  SABER_ENSURE(t.max_terms >= 4, "Toom-Cook headroom below Saber's rank");
+  return t;
 }
 
-std::size_t ToomCookMultiplier::padded_len() const {
-  return ceil_div<std::size_t>(ring::kN, parts_) * parts_;
-}
+}  // namespace
 
-std::size_t ToomCookMultiplier::part_len() const { return padded_len() / parts_; }
-
-Transformed ToomCookMultiplier::evaluate(std::span<const i64> p) const {
-  const std::size_t part = p.size() / parts_;
-  SABER_REQUIRE(p.size() % parts_ == 0, "operand length not divisible by order");
-  Transformed evals(static_cast<std::size_t>(points_) * part, 0);
-  for (std::size_t k = 0; k < part; ++k) {
-    std::vector<i64> limbs(parts_);
-    for (unsigned l = 0; l < parts_; ++l) limbs[l] = p[l * part + k];
-    for (std::size_t i = 0; i < eval_points_.size(); ++i) {
-      const i64 x = eval_points_[i];
-      i64 acc = limbs[parts_ - 1];
-      for (unsigned l = parts_ - 1; l > 0; --l) acc = acc * x + limbs[l - 1];
-      evals[i * part + k] = acc;
-    }
-    evals[static_cast<std::size_t>(points_ - 1) * part + k] = limbs[parts_ - 1];  // infinity
+ExactDiv make_exact_div(i64 den) {
+  SABER_REQUIRE(den != 0, "exact division by zero");
+  ExactDiv d;
+  d.den = den;
+  u64 u = static_cast<u64>(den);
+  d.shift = 0;
+  while ((u & 1) == 0) {
+    u >>= 1;
+    ++d.shift;
   }
-  ops_.coeff_mults += (parts_ - 1) * eval_points_.size() * part;
-  ops_.coeff_adds += (parts_ - 1) * eval_points_.size() * part;
-  return evals;
+  // Newton iteration doubles correct low bits each step; 6 steps cover 64
+  // bits from the 5-bit-correct seed x*x ≡ 1 (mod 16) for odd x.
+  u64 inv = u;
+  for (int i = 0; i < 6; ++i) inv *= 2 - u * inv;
+  SABER_ENSURE(u * inv == 1, "odd-part inverse failed");
+  d.inv_odd = inv;
+  return d;
 }
+
+const ToomTables& toom_tables(unsigned parts) {
+  static const ToomTables t3 = make_toom_tables(3);
+  static const ToomTables t4 = make_toom_tables(4);
+  SABER_REQUIRE(parts == 3 || parts == 4, "supported Toom-Cook orders: 3, 4");
+  return parts == 3 ? t3 : t4;
+}
+
+ToomCookMultiplier::ToomCookMultiplier(unsigned parts)
+    : tables_(toom_tables(parts)), name_("toom" + std::to_string(parts)) {}
 
 void ToomCookMultiplier::conv(std::span<const i64> a, std::span<const i64> b,
                               std::span<i64> out) const {
   const std::size_t n = a.size();
-  SABER_REQUIRE(b.size() == n && n % parts_ == 0,
+  SABER_REQUIRE(b.size() == n && n % tables_.parts == 0,
                 "Toom-Cook needs equal lengths divisible by the order");
   SABER_REQUIRE(out.size() == 2 * n - 1, "output length mismatch");
-  const std::size_t part = n / parts_;
+  const std::size_t part = n / tables_.parts;
 
-  // Evaluate the `parts_` limbs of each operand at every point (Horner).
-  const auto ea = evaluate(a);
-  const auto eb = evaluate(b);
+  // Evaluate the limbs of each operand at every point (Horner).
+  const auto ea = toom_evaluate_g(a, tables_, ops_);
+  const auto eb = toom_evaluate_g(b, tables_, ops_);
 
   // Pairwise products at each point; Karatsuba on the sub-multiplications,
   // as in the layered software multipliers [6].
-  std::vector<std::vector<i64>> prod(points_);
-  for (unsigned i = 0; i < points_; ++i) {
-    prod[i].assign(2 * part - 1, 0);
+  std::vector<i64> prods(static_cast<std::size_t>(tables_.points) * (2 * part - 1), 0);
+  for (unsigned i = 0; i < tables_.points; ++i) {
     karatsuba_conv(std::span<const i64>(ea).subspan(i * part, part),
-                   std::span<const i64>(eb).subspan(i * part, part), prod[i],
+                   std::span<const i64>(eb).subspan(i * part, part),
+                   std::span<i64>(prods).subspan(
+                       static_cast<std::size_t>(i) * (2 * part - 1), 2 * part - 1),
                    /*levels=*/32, ops_);
   }
 
   // Interpolate the limb products W_0..W_{2k-2} and recombine at x^part.
   std::ranges::fill(out, 0);
-  for (unsigned j = 0; j < points_; ++j) {
-    for (std::size_t k = 0; k < 2 * part - 1; ++k) {
-      i64 acc = 0;
-      for (unsigned i = 0; i < points_; ++i) acc += interp_num_[j][i] * prod[i][k];
-      SABER_ENSURE(acc % interp_den_[j] == 0, "Toom-Cook interpolation not exact");
-      out[static_cast<std::size_t>(j) * part + k] += acc / interp_den_[j];
-    }
-  }
-  ops_.coeff_mults += static_cast<u64>(points_) * points_ * (2 * part - 1);
-  ops_.coeff_adds += static_cast<u64>(points_) * points_ * (2 * part - 1);
+  toom_interpolate_acc_g(std::span<const i64>(prods), part, tables_, out, ops_);
 }
 
 Transformed ToomCookMultiplier::prepare_public(const ring::Poly& a,
                                                unsigned qbits) const {
   auto av = centered_lift(a, qbits);
   av.resize(padded_len(), 0);
-  return evaluate(av);
+  return toom_evaluate_g(std::span<const i64>(av), tables_, ops_);
 }
 
 Transformed ToomCookMultiplier::prepare_secret(const ring::SecretPoly& s,
@@ -212,52 +208,42 @@ Transformed ToomCookMultiplier::prepare_secret(const ring::SecretPoly& s,
   (void)qbits;
   std::vector<i64> sv(padded_len(), 0);
   for (std::size_t i = 0; i < ring::kN; ++i) sv[i] = s[i];
-  return evaluate(sv);
+  return toom_evaluate_g(std::span<const i64>(sv), tables_, ops_);
 }
 
 Transformed ToomCookMultiplier::make_accumulator() const {
-  return Transformed(static_cast<std::size_t>(points_) * (2 * part_len() - 1), 0);
+  return Transformed(static_cast<std::size_t>(tables_.points) * (2 * part_len() - 1),
+                     0);
 }
 
 void ToomCookMultiplier::pointwise_accumulate(Transformed& acc, const Transformed& a,
                                               const Transformed& s) const {
   const std::size_t part = part_len();
-  SABER_REQUIRE(a.size() == static_cast<std::size_t>(points_) * part &&
+  SABER_REQUIRE(a.size() == static_cast<std::size_t>(tables_.points) * part &&
                     s.size() == a.size(),
                 "operand not in this Toom-Cook transform domain");
-  SABER_REQUIRE(acc.size() == static_cast<std::size_t>(points_) * (2 * part - 1),
+  SABER_REQUIRE(acc.size() == static_cast<std::size_t>(tables_.points) * (2 * part - 1),
                 "accumulator not in this Toom-Cook transform domain");
-  std::vector<i64> prod(2 * part - 1);
-  for (unsigned i = 0; i < points_; ++i) {
-    karatsuba_conv(std::span<const i64>(a).subspan(i * part, part),
-                   std::span<const i64>(s).subspan(i * part, part), prod,
-                   /*levels=*/32, ops_);
-    i64* seg = acc.data() + static_cast<std::size_t>(i) * (2 * part - 1);
-    for (std::size_t k = 0; k < prod.size(); ++k) seg[k] += prod[k];
+  for (unsigned i = 0; i < tables_.points; ++i) {
+    karatsuba_acc_g(std::span<const i64>(a).subspan(i * part, part),
+                    std::span<const i64>(s).subspan(i * part, part),
+                    std::span<i64>(acc).subspan(
+                        static_cast<std::size_t>(i) * (2 * part - 1), 2 * part - 1),
+                    /*levels=*/32, ops_);
   }
-  ops_.coeff_adds += static_cast<u64>(points_) * (2 * part - 1);
+  ops_.coeff_adds += static_cast<u64>(tables_.points) * (2 * part - 1);
 }
 
 std::vector<i64> ToomCookMultiplier::finalize_witness(const Transformed& acc) const {
   const std::size_t part = part_len();
   const std::size_t padded = padded_len();
-  SABER_REQUIRE(acc.size() == static_cast<std::size_t>(points_) * (2 * part - 1),
+  SABER_REQUIRE(acc.size() == static_cast<std::size_t>(tables_.points) * (2 * part - 1),
                 "accumulator not in this Toom-Cook transform domain");
   // Interpolation is linear, so interpolating the accumulated point products
   // recovers the accumulated convolution with the same exact divisions.
   std::vector<i64> out(2 * padded - 1, 0);
-  for (unsigned j = 0; j < points_; ++j) {
-    for (std::size_t k = 0; k < 2 * part - 1; ++k) {
-      i64 v = 0;
-      for (unsigned i = 0; i < points_; ++i) {
-        v += interp_num_[j][i] * acc[static_cast<std::size_t>(i) * (2 * part - 1) + k];
-      }
-      SABER_ENSURE(v % interp_den_[j] == 0, "Toom-Cook interpolation not exact");
-      out[static_cast<std::size_t>(j) * part + k] += v / interp_den_[j];
-    }
-  }
-  ops_.coeff_mults += static_cast<u64>(points_) * points_ * (2 * part - 1);
-  ops_.coeff_adds += static_cast<u64>(points_) * points_ * (2 * part - 1);
+  toom_interpolate_acc_g(std::span<const i64>(acc), part, tables_,
+                         std::span<i64>(out), ops_);
   for (std::size_t i = 2 * ring::kN - 1; i < out.size(); ++i) {
     SABER_ENSURE(out[i] == 0, "padded convolution tail must vanish");
   }
@@ -276,7 +262,7 @@ ring::Poly ToomCookMultiplier::multiply(const ring::Poly& a, const ring::Poly& b
   auto bv = centered_lift(b, qbits);
   // Zero-pad to a multiple of the order (Toom-3 on 256 coefficients works on
   // 258); the padded convolution tail is zero and is dropped before folding.
-  const std::size_t padded = ceil_div<std::size_t>(ring::kN, parts_) * parts_;
+  const std::size_t padded = padded_len();
   av.resize(padded, 0);
   bv.resize(padded, 0);
   std::vector<i64> conv_out(2 * padded - 1);

@@ -5,29 +5,11 @@
 namespace saber::ring {
 
 std::vector<u8> pack_bits(std::span<const u16> values, unsigned bits) {
-  SABER_REQUIRE(bits >= 1 && bits <= 16, "bit width out of range");
-  std::vector<u8> out(bytes_for(values.size(), bits), 0);
-  std::size_t bitpos = 0;
-  for (u16 v : values) {
-    SABER_REQUIRE(v <= mask64(bits), "value exceeds bit width");
-    for (unsigned b = 0; b < bits; ++b, ++bitpos) {
-      if ((v >> b) & 1u) out[bitpos / 8] |= static_cast<u8>(1u << (bitpos % 8));
-    }
-  }
-  return out;
+  return pack_bits_g(values, bits);
 }
 
 void unpack_bits(std::span<const u8> data, unsigned bits, std::span<u16> values) {
-  SABER_REQUIRE(bits >= 1 && bits <= 16, "bit width out of range");
-  SABER_REQUIRE(data.size() * 8 >= values.size() * bits, "input too short");
-  std::size_t bitpos = 0;
-  for (auto& v : values) {
-    u16 x = 0;
-    for (unsigned b = 0; b < bits; ++b, ++bitpos) {
-      x |= static_cast<u16>(((data[bitpos / 8] >> (bitpos % 8)) & 1u) << b);
-    }
-    v = x;
-  }
+  unpack_bits_g(data, bits, values);
 }
 
 std::vector<u64> pack_words(std::span<const u16> values, unsigned bits) {

@@ -4,28 +4,23 @@
 // little-endian bit stream (the reference implementation's BS2POL/POL2BS
 // family). The hardware models additionally view the same streams as 64-bit
 // memory words, matching the paper's 64-bit data bus (§2.2).
+//
+// The byte-stream codecs are templated over the word type and branch-free in
+// the data: secret keys pass through pack_bits_g/unpack_bits_g, so a
+// value-dependent branch here would be a real timing leak (and is exactly
+// what the original `if (bit) out |= ...` formulation was). The 64-bit word
+// codecs serve the hardware bus models and stay plain.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "common/bits.hpp"
+#include "common/check.hpp"
+#include "ct/tainted.hpp"
 #include "ring/poly.hpp"
 
 namespace saber::ring {
-
-/// Pack values (each < 2^bits) LSB-first into a byte stream.
-std::vector<u8> pack_bits(std::span<const u16> values, unsigned bits);
-
-/// Inverse of pack_bits. `data` must hold at least values.size()*bits bits.
-void unpack_bits(std::span<const u8> data, unsigned bits, std::span<u16> values);
-
-/// Pack values LSB-first into little-endian 64-bit memory words (the layout
-/// the multiplier architectures stream from BRAM).
-std::vector<u64> pack_words(std::span<const u16> values, unsigned bits);
-
-/// Inverse of pack_words.
-void unpack_words(std::span<const u64> words, unsigned bits, std::span<u16> values);
 
 /// Words needed to store `count` coefficients of `bits` bits each.
 constexpr std::size_t words_for(std::size_t count, unsigned bits) {
@@ -37,22 +32,78 @@ constexpr std::size_t bytes_for(std::size_t count, unsigned bits) {
   return ceil_div<std::size_t>(count * bits, 8);
 }
 
-/// Convenience: pack a polynomial's low `bits` bits per coefficient.
-template <std::size_t N>
-std::vector<u8> pack_poly(const PolyT<N>& p, unsigned bits) {
-  std::vector<u16> masked(N);
-  for (std::size_t i = 0; i < N; ++i) {
-    masked[i] = static_cast<u16>(low_bits(p[i], bits));
+/// Pack values (each < 2^bits) LSB-first into a byte stream. Branch-free in
+/// the data: every bit is OR-accumulated unconditionally.
+template <typename W>
+std::vector<ct::rebind_t<W, u8>> pack_bits_g(std::span<const W> values, unsigned bits) {
+  using B = ct::rebind_t<W, u8>;
+  SABER_REQUIRE(bits >= 1 && bits <= 16, "bit width out of range");
+  std::vector<B> out(bytes_for(values.size(), bits), B{0});
+  std::size_t bitpos = 0;
+  for (const W& v : values) {
+    if constexpr (!ct::is_tainted_v<W>) {
+      SABER_REQUIRE(v <= mask64(bits), "value exceeds bit width");
+    }
+    for (unsigned b = 0; b < bits; ++b, ++bitpos) {
+      out[bitpos / 8] = ct::cast<u8>(
+          out[bitpos / 8] | (((ct::cast<u32>(v) >> b) & 1u) << (bitpos % 8)));
+    }
   }
-  return pack_bits(masked, bits);
+  return out;
+}
+
+/// Inverse of pack_bits_g. `data` must hold at least values.size()*bits bits.
+template <typename B, typename W>
+void unpack_bits_g(std::span<const B> data, unsigned bits, std::span<W> values) {
+  static_assert(ct::is_tainted_v<B> == ct::is_tainted_v<W>,
+                "byte and value words must share a taint mode");
+  SABER_REQUIRE(bits >= 1 && bits <= 16, "bit width out of range");
+  SABER_REQUIRE(data.size() * 8 >= values.size() * bits, "input too short");
+  std::size_t bitpos = 0;
+  for (auto& v : values) {
+    ct::rebind_t<W, u16> x{0};
+    for (unsigned b = 0; b < bits; ++b, ++bitpos) {
+      x = ct::cast<u16>(x | (((ct::cast<u32>(data[bitpos / 8]) >> (bitpos % 8)) & 1u)
+                             << b));
+    }
+    v = x;
+  }
+}
+
+/// Plain-word entry points (the original API).
+std::vector<u8> pack_bits(std::span<const u16> values, unsigned bits);
+void unpack_bits(std::span<const u8> data, unsigned bits, std::span<u16> values);
+
+/// Pack values LSB-first into little-endian 64-bit memory words (the layout
+/// the multiplier architectures stream from BRAM).
+std::vector<u64> pack_words(std::span<const u16> values, unsigned bits);
+
+/// Inverse of pack_words.
+void unpack_words(std::span<const u64> words, unsigned bits, std::span<u16> values);
+
+/// Convenience: pack a polynomial's low `bits` bits per coefficient.
+template <std::size_t N, typename C>
+std::vector<ct::rebind_t<C, u8>> pack_poly(const PolyT<N, C>& p, unsigned bits) {
+  std::vector<C> masked(N);
+  for (std::size_t i = 0; i < N; ++i) {
+    masked[i] = ct::cast<u16>(ct::low_bits_g(p[i], bits));
+  }
+  return pack_bits_g(std::span<const C>(masked), bits);
 }
 
 /// Convenience: unpack a polynomial (coefficients end up reduced mod 2^bits).
+template <std::size_t N, typename B>
+PolyT<N, ct::rebind_t<B, u16>> unpack_poly(std::span<const B> data, unsigned bits) {
+  PolyT<N, ct::rebind_t<B, u16>> p;
+  unpack_bits_g(data, bits, std::span<ct::rebind_t<B, u16>>(p.c));
+  return p;
+}
+
+/// Plain-byte overload so callers can pass vectors/subspans directly (the
+/// word-generic template above requires an exact std::span match to deduce).
 template <std::size_t N>
 PolyT<N> unpack_poly(std::span<const u8> data, unsigned bits) {
-  PolyT<N> p;
-  unpack_bits(data, bits, p.c);
-  return p;
+  return unpack_poly<N, u8>(data, bits);
 }
 
 /// Secret polynomials packed in the paper's 4-bit sign-magnitude-free layout:

@@ -7,6 +7,12 @@
 // carry its modulus as state — Saber's rounding steps reinterpret the same
 // coefficient vector under several moduli, and an explicit parameter keeps
 // those reinterpretations visible at the call site.
+//
+// Everything here is additionally templated over the coefficient word type
+// `C` (default u16 / i8). Production code uses the plain instantiations; the
+// ct_audit secret-independence analysis re-runs the very same function
+// bodies with C = ct::Tainted<u16> / ct::Tainted<i8>. All arithmetic is
+// branch-free in the data for exactly that reason.
 #pragma once
 
 #include <algorithm>
@@ -15,41 +21,47 @@
 
 #include "common/bits.hpp"
 #include "common/rng.hpp"
+#include "ct/tainted.hpp"
 
 namespace saber::ring {
 
-/// Fixed-degree polynomial with u16 coefficients.
-template <std::size_t N>
+/// Fixed-degree polynomial with u16-domain coefficients of word type C.
+template <std::size_t N, typename C = u16>
 struct PolyT {
-  std::array<u16, N> c{};
+  std::array<C, N> c{};
 
   static constexpr std::size_t size() { return N; }
 
-  u16& operator[](std::size_t i) { return c[i]; }
-  const u16& operator[](std::size_t i) const { return c[i]; }
+  C& operator[](std::size_t i) { return c[i]; }
+  const C& operator[](std::size_t i) const { return c[i]; }
 
   bool operator==(const PolyT&) const = default;
 
-  /// All coefficients reduced modulo 2^qbits?
-  bool reduced(unsigned qbits) const {
+  /// All coefficients reduced modulo 2^qbits? (plain words only: a reduction
+  /// check is a data-dependent branch by construction)
+  bool reduced(unsigned qbits) const
+    requires(!ct::is_tainted_v<C>)
+  {
     return std::ranges::all_of(c, [&](u16 v) { return v <= mask64(qbits); });
   }
 
   /// Reduce every coefficient modulo 2^qbits in place; returns *this.
   PolyT& reduce(unsigned qbits) {
-    for (auto& v : c) v = static_cast<u16>(low_bits(v, qbits));
+    for (auto& v : c) v = ct::cast<u16>(ct::low_bits_g(v, qbits));
     return *this;
   }
 
   /// Set every coefficient to `value`.
-  static PolyT constant(u16 value) {
+  static PolyT constant(C value) {
     PolyT p;
     p.c.fill(value);
     return p;
   }
 
   /// Uniformly random polynomial modulo 2^qbits.
-  static PolyT random(RandomSource& rng, unsigned qbits) {
+  static PolyT random(RandomSource& rng, unsigned qbits)
+    requires(!ct::is_tainted_v<C>)
+  {
     PolyT p;
     for (auto& v : p.c) v = static_cast<u16>(rng.uniform(u64{1} << qbits));
     return p;
@@ -57,30 +69,30 @@ struct PolyT {
 };
 
 /// Coefficient-wise sum modulo 2^qbits.
-template <std::size_t N>
-PolyT<N> add(const PolyT<N>& a, const PolyT<N>& b, unsigned qbits) {
-  PolyT<N> r;
+template <std::size_t N, typename C>
+PolyT<N, C> add(const PolyT<N, C>& a, const PolyT<N, C>& b, unsigned qbits) {
+  PolyT<N, C> r;
   for (std::size_t i = 0; i < N; ++i) {
-    r[i] = static_cast<u16>(low_bits(static_cast<u32>(a[i]) + b[i], qbits));
+    r[i] = ct::cast<u16>(ct::low_bits_g(ct::cast<u32>(a[i]) + b[i], qbits));
   }
   return r;
 }
 
 /// In-place coefficient-wise sum: a += b modulo 2^qbits. Returns `a`.
-template <std::size_t N>
-PolyT<N>& add_inplace(PolyT<N>& a, const PolyT<N>& b, unsigned qbits) {
+template <std::size_t N, typename C>
+PolyT<N, C>& add_inplace(PolyT<N, C>& a, const PolyT<N, C>& b, unsigned qbits) {
   for (std::size_t i = 0; i < N; ++i) {
-    a[i] = static_cast<u16>(low_bits(static_cast<u32>(a[i]) + b[i], qbits));
+    a[i] = ct::cast<u16>(ct::low_bits_g(ct::cast<u32>(a[i]) + b[i], qbits));
   }
   return a;
 }
 
 /// In-place coefficient-wise difference: a -= b modulo 2^qbits. Returns `a`.
-template <std::size_t N>
-PolyT<N>& sub_inplace(PolyT<N>& a, const PolyT<N>& b, unsigned qbits) {
+template <std::size_t N, typename C>
+PolyT<N, C>& sub_inplace(PolyT<N, C>& a, const PolyT<N, C>& b, unsigned qbits) {
   for (std::size_t i = 0; i < N; ++i) {
-    a[i] = static_cast<u16>(
-        low_bits(static_cast<u32>(a[i]) + (u32{1} << qbits) - b[i], qbits));
+    a[i] = ct::cast<u16>(
+        ct::low_bits_g(ct::cast<u32>(a[i]) + (u32{1} << qbits) - b[i], qbits));
   }
   return a;
 }
@@ -89,31 +101,31 @@ PolyT<N>& sub_inplace(PolyT<N>& a, const PolyT<N>& b, unsigned qbits) {
 /// Because every Saber modulus divides 2^16, wrapping mod 2^16 is exact mod
 /// 2^qbits; callers mask once at the end via reduce(qbits) instead of paying
 /// a reduction per accumulated term.
-template <std::size_t N>
-PolyT<N>& accumulate(PolyT<N>& a, const PolyT<N>& b) {
+template <std::size_t N, typename C>
+PolyT<N, C>& accumulate(PolyT<N, C>& a, const PolyT<N, C>& b) {
   for (std::size_t i = 0; i < N; ++i) {
-    a[i] = static_cast<u16>(a[i] + b[i]);
+    a[i] = ct::cast<u16>(a[i] + b[i]);
   }
   return a;
 }
 
 /// Coefficient-wise difference modulo 2^qbits.
-template <std::size_t N>
-PolyT<N> sub(const PolyT<N>& a, const PolyT<N>& b, unsigned qbits) {
-  PolyT<N> r;
+template <std::size_t N, typename C>
+PolyT<N, C> sub(const PolyT<N, C>& a, const PolyT<N, C>& b, unsigned qbits) {
+  PolyT<N, C> r;
   for (std::size_t i = 0; i < N; ++i) {
-    r[i] = static_cast<u16>(
-        low_bits(static_cast<u32>(a[i]) + (u32{1} << qbits) - b[i], qbits));
+    r[i] = ct::cast<u16>(
+        ct::low_bits_g(ct::cast<u32>(a[i]) + (u32{1} << qbits) - b[i], qbits));
   }
   return r;
 }
 
 /// Add a constant to every coefficient modulo 2^qbits.
-template <std::size_t N>
-PolyT<N> add_constant(const PolyT<N>& a, u16 k, unsigned qbits) {
-  PolyT<N> r;
+template <std::size_t N, typename C>
+PolyT<N, C> add_constant(const PolyT<N, C>& a, u16 k, unsigned qbits) {
+  PolyT<N, C> r;
   for (std::size_t i = 0; i < N; ++i) {
-    r[i] = static_cast<u16>(low_bits(static_cast<u32>(a[i]) + k, qbits));
+    r[i] = ct::cast<u16>(ct::low_bits_g(ct::cast<u32>(a[i]) + k, qbits));
   }
   return r;
 }
@@ -121,92 +133,114 @@ PolyT<N> add_constant(const PolyT<N>& a, u16 k, unsigned qbits) {
 /// Logical right shift of every coefficient (Saber's scale-and-round step:
 /// the caller adds the rounding constant h first). Input must be reduced
 /// modulo 2^from_bits; the result is reduced modulo 2^(from_bits - shift).
-template <std::size_t N>
-PolyT<N> shift_right(const PolyT<N>& a, unsigned shift) {
-  PolyT<N> r;
-  for (std::size_t i = 0; i < N; ++i) r[i] = static_cast<u16>(a[i] >> shift);
+template <std::size_t N, typename C>
+PolyT<N, C> shift_right(const PolyT<N, C>& a, unsigned shift) {
+  PolyT<N, C> r;
+  for (std::size_t i = 0; i < N; ++i) r[i] = ct::cast<u16>(a[i] >> shift);
   return r;
 }
 
 /// Left shift (multiplication by 2^shift) modulo 2^qbits.
-template <std::size_t N>
-PolyT<N> shift_left(const PolyT<N>& a, unsigned shift, unsigned qbits) {
-  PolyT<N> r;
+template <std::size_t N, typename C>
+PolyT<N, C> shift_left(const PolyT<N, C>& a, unsigned shift, unsigned qbits) {
+  PolyT<N, C> r;
   for (std::size_t i = 0; i < N; ++i) {
-    r[i] = static_cast<u16>(low_bits(static_cast<u32>(a[i]) << shift, qbits));
+    r[i] = ct::cast<u16>(ct::low_bits_g(ct::cast<u32>(a[i]) << shift, qbits));
   }
   return r;
 }
 
 /// Multiply by x^k in the negacyclic ring: coefficients wrap with negation.
-template <std::size_t N>
-PolyT<N> mul_by_x_pow(const PolyT<N>& a, std::size_t k, unsigned qbits) {
-  PolyT<N> r;
+/// (k is public: rotation amounts in this codebase are loop indices, never
+/// key material.)
+template <std::size_t N, typename C>
+PolyT<N, C> mul_by_x_pow(const PolyT<N, C>& a, std::size_t k, unsigned qbits) {
+  PolyT<N, C> r;
   const u32 q = u32{1} << qbits;
   for (std::size_t i = 0; i < N; ++i) {
     const std::size_t j = (i + k) % N;
     const bool negate = ((i + k) / N) % 2 == 1;
-    const u32 v = static_cast<u32>(low_bits(a[i], qbits));
-    r[j] = static_cast<u16>(negate ? low_bits(q - v, qbits) : v);
+    const auto v = ct::low_bits_g(a[i], qbits);
+    r[j] = negate ? ct::cast<u16>(ct::low_bits_g(q - v, qbits)) : ct::cast<u16>(v);
   }
   return r;
 }
 
 /// Centered (signed) representative of `v` modulo 2^qbits, in
-/// [-2^(qbits-1), 2^(qbits-1)).
+/// [-2^(qbits-1), 2^(qbits-1)). Branch-free (sign extension of the low
+/// qbits), so it is safe on secret coefficients.
 constexpr i32 centered(u16 v, unsigned qbits) {
-  const u32 q = u32{1} << qbits;
-  const u32 x = static_cast<u32>(low_bits(v, qbits));
-  return x >= q / 2 ? static_cast<i32>(x) - static_cast<i32>(q) : static_cast<i32>(x);
+  return static_cast<i32>(sign_extend(low_bits(v, qbits), qbits));
+}
+
+/// Word-generic form of `centered` for the templated kernels.
+template <typename C>
+constexpr ct::rebind_t<C, i64> centered_w(const C& v, unsigned qbits) {
+  return ct::centered_g(v, qbits);
 }
 
 /// Saber's canonical dimension.
 inline constexpr std::size_t kN = 256;
 using Poly = PolyT<kN>;
 
-/// Small signed polynomial (Saber secrets: coefficients in [-mu/2, mu/2]).
-template <std::size_t N>
+/// Small signed polynomial (Saber secrets: coefficients in [-mu/2, mu/2])
+/// with coefficient word type C (i8 in production, ct::Tainted<i8> under
+/// analysis).
+template <std::size_t N, typename C = i8>
 struct SecretPolyT {
-  std::array<i8, N> c{};
+  std::array<C, N> c{};
 
   static constexpr std::size_t size() { return N; }
 
-  i8& operator[](std::size_t i) { return c[i]; }
-  const i8& operator[](std::size_t i) const { return c[i]; }
+  C& operator[](std::size_t i) { return c[i]; }
+  const C& operator[](std::size_t i) const { return c[i]; }
 
   bool operator==(const SecretPolyT&) const = default;
 
-  /// Largest absolute coefficient value.
-  unsigned max_magnitude() const {
+  /// Largest absolute coefficient value (plain words: magnitude inspection
+  /// is inherently data-dependent and only used by tests/benchmarks).
+  unsigned max_magnitude() const
+    requires(!ct::is_tainted_v<C>)
+  {
     unsigned m = 0;
     for (i8 v : c) m = std::max(m, static_cast<unsigned>(v < 0 ? -v : v));
     return m;
   }
 
   /// Two's-complement embedding into R_q (q = 2^qbits).
-  PolyT<N> to_poly(unsigned qbits) const {
-    PolyT<N> p;
+  PolyT<N, ct::rebind_t<C, u16>> to_poly(unsigned qbits) const {
+    PolyT<N, ct::rebind_t<C, u16>> p;
     for (std::size_t i = 0; i < N; ++i) {
-      p[i] = static_cast<u16>(to_twos_complement(c[i], qbits));
+      p[i] = ct::cast<u16>(ct::to_twos_complement_g(ct::cast<i64>(c[i]), qbits));
     }
     return p;
   }
 
   /// Inverse of to_poly for polynomials known to have small coefficients
-  /// (|coeff| <= bound < 2^(qbits-1)).
-  static SecretPolyT from_poly(const PolyT<N>& p, unsigned qbits, unsigned bound) {
+  /// (|coeff| <= bound < 2^(qbits-1)). The range check is aggregated into a
+  /// single mask and declassified at an audited site: it only reveals
+  /// whether the stored key is well-formed, a property that is public by the
+  /// key-format contract (honest keys always pass).
+  static SecretPolyT from_poly(const PolyT<N, ct::rebind_t<C, u16>>& p, unsigned qbits,
+                               unsigned bound) {
     SecretPolyT s;
+    ct::rebind_t<C, u64> out_of_range{0};
     for (std::size_t i = 0; i < N; ++i) {
-      const i32 v = centered(p[i], qbits);
-      SABER_REQUIRE(static_cast<u32>(v < 0 ? -v : v) <= bound,
-                    "coefficient exceeds secret bound");
-      s[i] = static_cast<i8>(v);
+      const auto v = centered_w(p[i], qbits);
+      // |v| > bound iff (bound - v) or (bound + v) is negative.
+      out_of_range = out_of_range | ct::sign_mask_g(static_cast<i64>(bound) - v) |
+                     ct::sign_mask_g(static_cast<i64>(bound) + v);
+      s[i] = ct::cast<i8>(v);
     }
+    SABER_REQUIRE(ct::declassify(out_of_range, "secret-bound-check") == 0,
+                  "coefficient exceeds secret bound");
     return s;
   }
 
   /// Uniformly random secret with coefficients in [-bound, bound].
-  static SecretPolyT random(RandomSource& rng, unsigned bound) {
+  static SecretPolyT random(RandomSource& rng, unsigned bound)
+    requires(!ct::is_tainted_v<C>)
+  {
     SecretPolyT s;
     for (auto& v : s.c) {
       v = static_cast<i8>(rng.uniform_range(-static_cast<i64>(bound), bound));

@@ -1,45 +1,89 @@
 // Vectors and matrices of ring elements, with multiplication delegated to a
 // pluggable polynomial multiplier so the Saber layer can run on any of the
 // software algorithms or on a simulated hardware multiplier.
+//
+// Containers and the matrix/vector products are templated over the
+// coefficient word type so the ct_audit build can push ct::Tainted
+// coefficients through the exact same accumulation code paths.
 #pragma once
 
 #include <functional>
 #include <vector>
 
+#include "common/check.hpp"
 #include "ring/poly.hpp"
 
 namespace saber::ring {
+
+/// Vector of ring elements with coefficient word type C.
+template <typename C = u16>
+using PolyVecOf = std::vector<PolyT<kN, C>>;
+
+/// Vector of small signed secrets with word type S.
+template <typename S = i8>
+using SecretVecOf = std::vector<SecretPolyT<kN, S>>;
+
+using PolyVec = PolyVecOf<>;
+using SecretVec = SecretVecOf<>;
 
 /// Negacyclic product of a public polynomial (reduced mod 2^qbits) and a
 /// small signed secret polynomial, reduced mod 2^qbits.
 using PolyMulFn = std::function<Poly(const Poly&, const SecretPoly&, unsigned qbits)>;
 
-using PolyVec = std::vector<Poly>;
-using SecretVec = std::vector<SecretPoly>;
-
 /// Row-major square matrix of polynomials.
-class PolyMatrix {
+template <typename C = u16>
+class PolyMatrixT {
  public:
-  PolyMatrix(std::size_t rows, std::size_t cols)
+  PolyMatrixT(std::size_t rows, std::size_t cols)
       : rows_(rows), cols_(cols), elems_(rows * cols) {}
 
-  Poly& at(std::size_t r, std::size_t c) { return elems_[r * cols_ + c]; }
-  const Poly& at(std::size_t r, std::size_t c) const { return elems_[r * cols_ + c]; }
+  PolyT<kN, C>& at(std::size_t r, std::size_t c) { return elems_[r * cols_ + c]; }
+  const PolyT<kN, C>& at(std::size_t r, std::size_t c) const {
+    return elems_[r * cols_ + c];
+  }
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
 
  private:
   std::size_t rows_, cols_;
-  std::vector<Poly> elems_;
+  std::vector<PolyT<kN, C>> elems_;
 };
 
-/// r = A * s (or A^T * s when `transpose`), reduced mod 2^qbits.
-PolyVec matrix_vector_mul(const PolyMatrix& a, const SecretVec& s, const PolyMulFn& mul,
-                          unsigned qbits, bool transpose);
+using PolyMatrix = PolyMatrixT<>;
+
+/// r = A * s (or A^T * s when `transpose`), reduced mod 2^qbits. `Mul` is any
+/// callable (Poly, SecretPoly, qbits) -> Poly over the matching word types.
+template <typename C, typename S, typename Mul>
+PolyVecOf<C> matrix_vector_mul(const PolyMatrixT<C>& a, const SecretVecOf<S>& s,
+                               Mul&& mul, unsigned qbits, bool transpose) {
+  SABER_REQUIRE(a.rows() == a.cols(), "matrix must be square");
+  SABER_REQUIRE(a.cols() == s.size(), "dimension mismatch");
+  const std::size_t l = a.rows();
+  PolyVecOf<C> r(l);
+  for (std::size_t i = 0; i < l; ++i) {
+    // Lazy reduction: wrapping u16 accumulation is exact mod 2^16 (and hence
+    // mod any 2^qbits dividing it); mask once per row instead of per term.
+    PolyT<kN, C> acc{};
+    for (std::size_t j = 0; j < l; ++j) {
+      const auto& aij = transpose ? a.at(j, i) : a.at(i, j);
+      accumulate(acc, mul(aij, s[j], qbits));
+    }
+    r[i] = acc.reduce(qbits);
+  }
+  return r;
+}
 
 /// Inner product <b, s> = sum_i b[i] * s[i], reduced mod 2^qbits.
-Poly inner_product(const PolyVec& b, const SecretVec& s, const PolyMulFn& mul,
-                   unsigned qbits);
+template <typename C, typename S, typename Mul>
+PolyT<kN, C> inner_product(const PolyVecOf<C>& b, const SecretVecOf<S>& s, Mul&& mul,
+                           unsigned qbits) {
+  SABER_REQUIRE(b.size() == s.size(), "dimension mismatch");
+  PolyT<kN, C> acc{};
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    accumulate(acc, mul(b[i], s[i], qbits));
+  }
+  return acc.reduce(qbits);
+}
 
 }  // namespace saber::ring

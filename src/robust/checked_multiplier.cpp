@@ -106,14 +106,33 @@ bool CheckedMultiplier::should_check() const {
   switch (config_.policy) {
     case CheckPolicy::kOff: return false;
     case CheckPolicy::kFull: return true;
-    case CheckPolicy::kSampled: return sample_clock_++ % config_.sample_period == 0;
+    case CheckPolicy::kSampled: {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      return sample_clock_++ % config_.sample_period == 0;
+    }
   }
   return false;
 }
 
+void CheckedMultiplier::bump(u64 FaultCounters::* field) const {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  ++(counters_.*field);
+}
+
 void CheckedMultiplier::record(FaultRecord::Path path, FaultRecord::Resolution res,
                                unsigned qbits) const {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
   log_.push_back({path, res, qbits});
+}
+
+FaultCounters CheckedMultiplier::fault_counters() const {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  return counters_;
+}
+
+std::vector<FaultRecord> CheckedMultiplier::fault_log() const {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  return log_;
 }
 
 bool CheckedMultiplier::algebraic_multiply(const ring::Poly& a, const ring::Poly& b,
@@ -147,14 +166,14 @@ ring::Poly CheckedMultiplier::multiply(const ring::Poly& a, const ring::Poly& b,
                                        unsigned qbits) const {
   if (config_.kind != CheckKind::kReference) {
     if (!should_check()) return inner_->multiply(a, b, qbits);
-    ++counters_.checks;
+    bump(&FaultCounters::checks);
     ring::Poly product{};
     if (algebraic_multiply(a, b, qbits, product)) return product;
-    ++counters_.mismatches;
+    bump(&FaultCounters::mismatches);
     const auto reference = fallback_->multiply(a, b, qbits);
     const auto retried = inner_->multiply(a, b, qbits);
     if (retried == reference) {
-      ++counters_.retry_recoveries;
+      bump(&FaultCounters::retry_recoveries);
       record(FaultRecord::Path::kMultiply, FaultRecord::Resolution::kRetry, qbits);
       return retried;
     }
@@ -162,7 +181,7 @@ ring::Poly CheckedMultiplier::multiply(const ring::Poly& a, const ring::Poly& b,
       throw FaultDetectedError(
           "unrecoverable fault: reference backend is inconsistent with itself");
     }
-    ++counters_.failovers;
+    bump(&FaultCounters::failovers);
     record(FaultRecord::Path::kMultiply, FaultRecord::Resolution::kFailover, qbits);
     return reference;
   }
@@ -170,15 +189,15 @@ ring::Poly CheckedMultiplier::multiply(const ring::Poly& a, const ring::Poly& b,
   auto product = inner_->multiply(a, b, qbits);
   if (!should_check()) return product;
 
-  ++counters_.checks;
+  bump(&FaultCounters::checks);
   const auto reference = fallback_->multiply(a, b, qbits);
   if (product == reference) return product;
 
-  ++counters_.mismatches;
+  bump(&FaultCounters::mismatches);
   // Transient-fault recovery: a one-shot upset does not repeat.
   const auto retried = inner_->multiply(a, b, qbits);
   if (retried == reference) {
-    ++counters_.retry_recoveries;
+    bump(&FaultCounters::retry_recoveries);
     record(FaultRecord::Path::kMultiply, FaultRecord::Resolution::kRetry, qbits);
     return retried;
   }
@@ -189,7 +208,7 @@ ring::Poly CheckedMultiplier::multiply(const ring::Poly& a, const ring::Poly& b,
     throw FaultDetectedError(
         "unrecoverable fault: reference backend is inconsistent with itself");
   }
-  ++counters_.failovers;
+  bump(&FaultCounters::failovers);
   record(FaultRecord::Path::kMultiply, FaultRecord::Resolution::kFailover, qbits);
   return reference;
 }
@@ -320,14 +339,14 @@ ring::Poly CheckedMultiplier::finalize(const mult::Transformed& acc,
 
   if (config_.kind != CheckKind::kReference) {
     if (!should_check()) return inner_->finalize(inner_acc, qbits);
-    ++counters_.checks;
+    bump(&FaultCounters::checks);
     ring::Poly product{};
     if (algebraic_finalize(inner_acc, view.pairs, qbits, product)) return product;
-    ++counters_.mismatches;
+    bump(&FaultCounters::mismatches);
     const auto ref = reference_sum(view.pairs, qbits);
     const auto retry = inner_recompute(view.pairs, qbits);
     if (retry == ref) {
-      ++counters_.retry_recoveries;
+      bump(&FaultCounters::retry_recoveries);
       record(FaultRecord::Path::kFinalize, FaultRecord::Resolution::kRetry, qbits);
       return retry;
     }
@@ -335,7 +354,7 @@ ring::Poly CheckedMultiplier::finalize(const mult::Transformed& acc,
       throw FaultDetectedError(
           "unrecoverable fault: reference backend is inconsistent with itself");
     }
-    ++counters_.failovers;
+    bump(&FaultCounters::failovers);
     record(FaultRecord::Path::kFinalize, FaultRecord::Resolution::kFailover, qbits);
     return ref;
   }
@@ -343,14 +362,14 @@ ring::Poly CheckedMultiplier::finalize(const mult::Transformed& acc,
   auto result = inner_->finalize(inner_acc, qbits);
   if (!should_check()) return result;
 
-  ++counters_.checks;
+  bump(&FaultCounters::checks);
   const auto reference = reference_sum(view.pairs, qbits);
   if (result == reference) return result;
 
-  ++counters_.mismatches;
+  bump(&FaultCounters::mismatches);
   const auto retried = inner_recompute(view.pairs, qbits);
   if (retried == reference) {
-    ++counters_.retry_recoveries;
+    bump(&FaultCounters::retry_recoveries);
     record(FaultRecord::Path::kFinalize, FaultRecord::Resolution::kRetry, qbits);
     return retried;
   }
@@ -358,7 +377,7 @@ ring::Poly CheckedMultiplier::finalize(const mult::Transformed& acc,
     throw FaultDetectedError(
         "unrecoverable fault: reference backend is inconsistent with itself");
   }
-  ++counters_.failovers;
+  bump(&FaultCounters::failovers);
   record(FaultRecord::Path::kFinalize, FaultRecord::Resolution::kFailover, qbits);
   return reference;
 }

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -91,8 +92,13 @@ class CheckedMultiplier final : public mult::PolyMultiplier, public FaultMonitor
   const CheckedConfig& config() const { return config_; }
   const mult::PolyMultiplier& inner() const { return *inner_; }
 
-  FaultCounters fault_counters() const override { return counters_; }
-  const std::vector<FaultRecord>& fault_log() const { return log_; }
+  /// Snapshot of the fault statistics. Safe to call from a monitoring thread
+  /// while another thread is multiplying through this instance: all stat
+  /// mutation and both accessors synchronize on an internal mutex (the
+  /// supervisor polls status from outside the worker, and the batch pipeline
+  /// snapshots counters around every item).
+  FaultCounters fault_counters() const override;
+  std::vector<FaultRecord> fault_log() const;
 
   ring::Poly multiply(const ring::Poly& a, const ring::Poly& b,
                       unsigned qbits) const override;
@@ -108,6 +114,10 @@ class CheckedMultiplier final : public mult::PolyMultiplier, public FaultMonitor
 
  private:
   bool should_check() const;
+  /// Increment one fault counter under the stats mutex. Every counter
+  /// mutation funnels through here so the monitor accessors never observe a
+  /// torn or racy update.
+  void bump(u64 FaultCounters::* field) const;
   ring::Poly reference_sum(std::span<const i64> pairs, unsigned qbits) const;
   ring::Poly inner_recompute(std::span<const i64> pairs, unsigned qbits) const;
   void record(FaultRecord::Path path, FaultRecord::Resolution res, unsigned qbits) const;
@@ -126,6 +136,7 @@ class CheckedMultiplier final : public mult::PolyMultiplier, public FaultMonitor
   std::unique_ptr<mult::PolyMultiplier> fallback_;
   CheckedConfig config_;
   std::string name_;
+  mutable std::mutex stats_mu_;  ///< guards counters_, log_, sample_clock_
   mutable FaultCounters counters_;
   mutable std::vector<FaultRecord> log_;
   mutable std::size_t sample_clock_ = 0;

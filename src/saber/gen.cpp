@@ -29,14 +29,7 @@ ring::PolyMatrix gen_matrix(std::span<const u8> seed, const SaberParams& params)
 }
 
 ring::SecretVec gen_secret(std::span<const u8> seed, const SaberParams& params) {
-  SABER_REQUIRE(seed.size() == SaberParams::seed_bytes, "bad seed length");
-  const std::size_t poly_bytes = SaberParams::n * params.mu / 8;
-  const auto buf = sha3::Shake128::hash(seed, params.l * poly_bytes);
-  ring::SecretVec s(params.l);
-  for (std::size_t i = 0; i < params.l; ++i) {
-    s[i] = cbd_sample(std::span(buf).subspan(i * poly_bytes, poly_bytes), params.mu);
-  }
-  return s;
+  return gen_secret_g(seed, params);
 }
 
 }  // namespace saber::kem

@@ -7,12 +7,32 @@
 
 #include "ring/polyvec.hpp"
 #include "saber/params.hpp"
+#include "saber/sampler.hpp"
+#include "sha3/sha3.hpp"
 
 namespace saber::kem {
 
 /// A in R_q^{l x l}, coefficients reduced mod q, filled row-major from the
-/// SHAKE-128(seed) bit stream (13 bits per coefficient, LSB-first).
+/// SHAKE-128(seed) bit stream (13 bits per coefficient, LSB-first). A is
+/// public (expanded from the published seed), so this stays plain.
 ring::PolyMatrix gen_matrix(std::span<const u8> seed, const SaberParams& params);
+
+/// Word-generic secret expansion: SHAKE-128 over the (possibly tainted)
+/// seed, then CBD sampling. The whole output stream inherits the seed's
+/// taint, so under the audit every sampled coefficient comes out tainted.
+template <typename B>
+ring::SecretVecOf<ct::rebind_t<B, i8>> gen_secret_g(std::span<const B> seed,
+                                                    const SaberParams& params) {
+  SABER_REQUIRE(seed.size() == SaberParams::seed_bytes, "bad seed length");
+  const std::size_t poly_bytes = SaberParams::n * params.mu / 8;
+  const auto buf = sha3::Shake<128, B>::hash(seed, params.l * poly_bytes);
+  ring::SecretVecOf<ct::rebind_t<B, i8>> s(params.l);
+  for (std::size_t i = 0; i < params.l; ++i) {
+    s[i] = cbd_sample_g(
+        std::span<const B>(buf).subspan(i * poly_bytes, poly_bytes), params.mu);
+  }
+  return s;
+}
 
 /// s in R^l with centered-binomial coefficients from SHAKE-128(seed).
 ring::SecretVec gen_secret(std::span<const u8> seed, const SaberParams& params);

@@ -1,35 +1,9 @@
 #include "saber/kem.hpp"
 
-#include <algorithm>
-
 #include "common/check.hpp"
-#include "common/zeroize.hpp"
-#include "sha3/sha3.hpp"
+#include "saber/flows.hpp"
 
 namespace saber::kem {
-
-namespace {
-
-constexpr std::size_t kHashBytes = SaberParams::hash_bytes;
-constexpr std::size_t kKeyBytes = SaberParams::key_bytes;
-
-/// Constant-time byte-equality: returns 0x00 for equal, 0xff for different.
-u8 ct_differ(std::span<const u8> a, std::span<const u8> b) {
-  SABER_REQUIRE(a.size() == b.size(), "length mismatch in comparison");
-  u8 acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<u8>(a[i] ^ b[i]);
-  // Collapse to a full mask without branching.
-  return static_cast<u8>(-static_cast<i8>((acc | (static_cast<u8>(-acc))) >> 7));
-}
-
-/// Constant-time conditional move: dst = mask ? src : dst (mask 0x00/0xff).
-void ct_cmov(std::span<u8> dst, std::span<const u8> src, u8 mask) {
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    dst[i] = static_cast<u8>(dst[i] ^ (mask & (dst[i] ^ src[i])));
-  }
-}
-
-}  // namespace
 
 SaberKemScheme::SaberKemScheme(const SaberParams& params, ring::PolyMulFn mul)
     : pke_(params, std::move(mul)) {}
@@ -45,15 +19,10 @@ namespace {
 
 KemKeyPair assemble_kem_keys(PkeKeyPair pke_keys, const SharedSecret& z,
                              const SaberParams& params) {
-  KemKeyPair kp;
-  kp.pk = pke_keys.pk;
-  kp.sk = std::move(pke_keys.sk);
-  kp.sk.insert(kp.sk.end(), kp.pk.begin(), kp.pk.end());
-  const auto pk_hash = sha3::Sha3_256::hash(kp.pk);
-  kp.sk.insert(kp.sk.end(), pk_hash.begin(), pk_hash.end());
-  kp.sk.insert(kp.sk.end(), z.begin(), z.end());
-  SABER_ENSURE(kp.sk.size() == params.kem_sk_bytes(), "KEM secret key size mismatch");
-  return kp;
+  auto kp = flows::kem_assemble_flow(
+      flows::PkeKeyBytes<u8>{std::move(pke_keys.pk), std::move(pke_keys.sk)},
+      std::span<const u8>(z), params);
+  return KemKeyPair{std::move(kp.pk), std::move(kp.sk)};
 }
 
 }  // namespace
@@ -73,38 +42,10 @@ KemKeyPair SaberKemScheme::keygen_deterministic(const Seed& seed_a, const Seed& 
 EncapsResult SaberKemScheme::encaps_with(std::span<const u8> pk,
                                          const PreparedPublicKey* prep,
                                          const Message& m_raw) const {
-  // m = SHA3-256(m_raw): the reference hashes the sampled message so no raw
-  // RNG output enters the ciphertext.
-  auto m_arr = sha3::Sha3_256::hash(m_raw);
-  ZeroizeGuard guard_m_arr(m_arr);
-
-  // (khat, r) = SHA3-512(m || SHA3-256(pk))
-  std::array<u8, 2 * kHashBytes> buf{};
-  ZeroizeGuard guard_buf(buf);
-  std::copy(m_arr.begin(), m_arr.end(), buf.begin());
-  const auto pk_hash = sha3::Sha3_256::hash(pk);
-  std::copy(pk_hash.begin(), pk_hash.end(),
-            buf.begin() + static_cast<std::ptrdiff_t>(kHashBytes));
-  auto kr = sha3::Sha3_512().update(buf).digest();
-  ZeroizeGuard guard_kr(kr);
-
-  Message m{};
-  ZeroizeGuard guard_msg(m);
-  std::copy(m_arr.begin(), m_arr.end(), m.begin());
-  Seed r{};
-  ZeroizeGuard guard_r(r);
-  std::copy_n(kr.begin() + static_cast<std::ptrdiff_t>(kHashBytes), kHashBytes,
-              r.begin());
-
-  EncapsResult res;
-  res.ct = prep ? pke_.encrypt(m, r, *prep) : pke_.encrypt(m, r, pk);
-
-  // K = SHA3-256(khat || SHA3-256(ct))
-  const auto ct_hash = sha3::Sha3_256::hash(res.ct);
-  std::copy(ct_hash.begin(), ct_hash.end(),
-            kr.begin() + static_cast<std::ptrdiff_t>(kHashBytes));
-  res.key = sha3::Sha3_256::hash(kr);
-  return res;
+  auto out = flows::encaps_flow(pk, m_raw, [&](const Message& m, const Seed& r) {
+    return prep ? pke_.encrypt(m, r, *prep) : pke_.encrypt(m, r, pk);
+  });
+  return EncapsResult{std::move(out.ct), out.key};
 }
 
 EncapsResult SaberKemScheme::encaps_deterministic(std::span<const u8> pk,
@@ -125,41 +66,14 @@ EncapsResult SaberKemScheme::encaps(std::span<const u8> pk, RandomSource& rng) c
 }
 
 SharedSecret SaberKemScheme::decaps(std::span<const u8> ct, std::span<const u8> sk) const {
-  const auto& p = params();
-  SABER_REQUIRE(sk.size() == p.kem_sk_bytes(), "bad KEM secret key length");
-  const auto pke_sk = sk.first(p.pke_sk_bytes());
-  const auto pk = sk.subspan(p.pke_sk_bytes(), p.pk_bytes());
-  const auto pk_hash = sk.subspan(p.pke_sk_bytes() + p.pk_bytes(), kHashBytes);
-  const auto z = sk.last(kKeyBytes);
-
-  Message m = pke_.decrypt(ct, pke_sk);
-  ZeroizeGuard guard_msg(m);
-
-  // Re-derive (khat', r') and re-encrypt. Every intermediate that depends on
-  // the decrypted message or the rejection secret z is wiped when the scope
-  // exits, normally or by exception (a poisoned batch item must not leave
-  // key material on a worker's stack).
-  std::array<u8, 2 * kHashBytes> buf{};
-  ZeroizeGuard guard_buf(buf);
-  std::copy(m.begin(), m.end(), buf.begin());
-  std::copy(pk_hash.begin(), pk_hash.end(),
-            buf.begin() + static_cast<std::ptrdiff_t>(kHashBytes));
-  auto kr = sha3::Sha3_512().update(buf).digest();
-  ZeroizeGuard guard_kr(kr);
-  Seed r{};
-  ZeroizeGuard guard_r(r);
-  std::copy_n(kr.begin() + static_cast<std::ptrdiff_t>(kHashBytes), kHashBytes,
-              r.begin());
-  const auto ct2 = pke_.encrypt(m, r, pk);
-
-  const u8 fail = ct_differ(ct, ct2);
-
-  const auto ct_hash = sha3::Sha3_256::hash(ct);
-  std::copy(ct_hash.begin(), ct_hash.end(),
-            kr.begin() + static_cast<std::ptrdiff_t>(kHashBytes));
-  // Implicit rejection: replace khat' with z on mismatch.
-  ct_cmov(std::span(kr).first(kHashBytes), z, fail);
-  return sha3::Sha3_256::hash(kr);
+  return flows::decaps_flow(
+      ct, sk, params(),
+      [this](std::span<const u8> c, std::span<const u8> pke_sk) {
+        return pke_.decrypt(c, pke_sk);
+      },
+      [this](const Message& m, const Seed& r, std::span<const u8> pk) {
+        return pke_.encrypt(m, r, pk);
+      });
 }
 
 }  // namespace saber::kem

@@ -1,11 +1,9 @@
 #include "saber/pke.hpp"
 
 #include "common/check.hpp"
-#include "common/zeroize.hpp"
 #include "mult/strategy.hpp"
-#include "ring/packing.hpp"
+#include "saber/flows.hpp"
 #include "saber/gen.hpp"
-#include "sha3/sha3.hpp"
 
 namespace saber::kem {
 
@@ -13,33 +11,6 @@ namespace {
 
 constexpr unsigned kEq = SaberParams::eq;
 constexpr unsigned kEp = SaberParams::ep;
-constexpr std::size_t kNn = SaberParams::n;
-
-ring::Poly message_to_poly(const Message& m) {
-  ring::Poly p;
-  for (std::size_t i = 0; i < kNn; ++i) {
-    p[i] = static_cast<u16>((m[i / 8] >> (i % 8)) & 1u);
-  }
-  return p;
-}
-
-Message poly_to_message(const ring::Poly& p) {
-  Message m{};
-  for (std::size_t i = 0; i < kNn; ++i) {
-    m[i / 8] |= static_cast<u8>((p[i] & 1u) << (i % 8));
-  }
-  return m;
-}
-
-/// Wipes an expanded secret vector when the scope exits (normally or by
-/// exception) so raw secret coefficients do not linger on the stack after a
-/// request fails mid-flight.
-struct SecretVecGuard {
-  ring::SecretVec& s;
-  ~SecretVecGuard() {
-    for (auto& poly : s) secure_zeroize_object(poly);
-  }
-};
 
 }  // namespace
 
@@ -70,73 +41,29 @@ ring::Poly SaberPke::inner(const ring::PolyVec& b, const ring::SecretVec& s,
   return ring::inner_product(b, s, mul_, qbits);
 }
 
-ring::PolyVec SaberPke::round_q_to_p(ring::PolyVec v) const {
-  for (auto& poly : v) {
-    poly = ring::shift_right(ring::add_constant(poly, SaberParams::h1, kEq), kEq - kEp);
-  }
-  return v;
-}
-
 std::vector<u8> SaberPke::pack_secret(const ring::SecretVec& s) const {
-  std::vector<u8> out;
-  out.reserve(params_.pke_sk_bytes());
-  for (const auto& poly : s) {
-    const auto bytes = ring::pack_poly(poly.to_poly(kEq), kEq);
-    out.insert(out.end(), bytes.begin(), bytes.end());
-  }
-  return out;
+  return flows::pack_secret_g(s, params_);
 }
 
 ring::SecretVec SaberPke::unpack_secret(std::span<const u8> sk) const {
-  SABER_REQUIRE(sk.size() >= params_.pke_sk_bytes(), "secret key too short");
-  ring::SecretVec s(params_.l);
-  for (std::size_t i = 0; i < params_.l; ++i) {
-    const auto poly = ring::unpack_poly<kNn>(
-        sk.subspan(i * params_.poly_q_bytes(), params_.poly_q_bytes()), kEq);
-    s[i] = ring::SecretPoly::from_poly(poly, kEq, params_.secret_bound());
-  }
-  return s;
+  return flows::unpack_secret_g(sk, params_);
 }
 
 std::vector<u8> SaberPke::pack_pk(const ring::PolyVec& b, const Seed& seed_a) const {
-  std::vector<u8> pk;
-  pk.reserve(params_.pk_bytes());
-  for (const auto& poly : b) {
-    const auto bytes = ring::pack_poly(poly, kEp);
-    pk.insert(pk.end(), bytes.begin(), bytes.end());
-  }
-  pk.insert(pk.end(), seed_a.begin(), seed_a.end());
-  return pk;
+  return flows::pack_pk_g(b, seed_a, params_);
 }
 
 void SaberPke::unpack_pk(std::span<const u8> pk, ring::PolyVec& b, Seed& seed_a) const {
-  SABER_REQUIRE(pk.size() == params_.pk_bytes(), "bad public key length");
-  b.resize(params_.l);
-  for (std::size_t i = 0; i < params_.l; ++i) {
-    b[i] = ring::unpack_poly<kNn>(
-        pk.subspan(i * params_.poly_p_bytes(), params_.poly_p_bytes()), kEp);
-  }
-  std::copy_n(pk.end() - static_cast<std::ptrdiff_t>(SaberParams::seed_bytes),
-              SaberParams::seed_bytes, seed_a.begin());
+  flows::unpack_pk_g(pk, b, seed_a, params_);
 }
 
 PkeKeyPair SaberPke::keygen(const Seed& seed_a_in, const Seed& seed_s) const {
-  // The reference implementation re-hashes the A-seed so the public key does
-  // not expose raw system randomness.
-  Seed seed_a{};
-  sha3::Shake128 shake;
-  shake.update(seed_a_in);
-  shake.squeeze(seed_a);
-
-  const auto a = gen_matrix(seed_a, params_);
-  auto s = gen_secret(seed_s, params_);
-  SecretVecGuard guard_s{s};
-  // b = round(A^T s + h): KeyGen multiplies by the transpose (round-3 spec).
-  auto b = mat_vec(a, s, /*transpose=*/true);
-  for (auto& poly : b) poly.reduce(kEq);
-  b = round_q_to_p(std::move(b));
-
-  return PkeKeyPair{pack_pk(b, seed_a), pack_secret(s)};
+  auto out = flows::keygen_flow(
+      seed_a_in, std::span<const u8>(seed_s), params_,
+      [this](const ring::PolyMatrix& a, const ring::SecretVec& s, bool transpose) {
+        return mat_vec(a, s, transpose);
+      });
+  return PkeKeyPair{std::move(out.pk), std::move(out.sk)};
 }
 
 PkeKeyPair SaberPke::keygen(RandomSource& rng) const {
@@ -146,52 +73,23 @@ PkeKeyPair SaberPke::keygen(RandomSource& rng) const {
   return keygen(seed_a, seed_s);
 }
 
-std::vector<u8> SaberPke::encrypt_core(const Message& m, ring::PolyVec bp,
-                                       const ring::Poly& vp) const {
-  std::vector<u8> ct;
-  ct.reserve(params_.ct_bytes());
-  for (const auto& poly : bp) {
-    const auto bytes = ring::pack_poly(poly, kEp);
-    ct.insert(ct.end(), bytes.begin(), bytes.end());
-  }
-
-  // cm = (v' + h1 - 2^(ep-1) m  mod p) >> (ep - et), with v' = b^T s' mod p.
-  const auto mp = message_to_poly(m);
-  ring::Poly cm;
-  for (std::size_t i = 0; i < kNn; ++i) {
-    const u32 v = static_cast<u32>(vp[i]) + SaberParams::h1 +
-                  (u32{1} << kEp) - (static_cast<u32>(mp[i]) << (kEp - 1));
-    cm[i] = static_cast<u16>(low_bits(v, kEp) >> (kEp - params_.et));
-  }
-  const auto cm_bytes = ring::pack_poly(cm, params_.et);
-  ct.insert(ct.end(), cm_bytes.begin(), cm_bytes.end());
-  SABER_ENSURE(ct.size() == params_.ct_bytes(), "ciphertext size mismatch");
-  return ct;
-}
-
 std::vector<u8> SaberPke::encrypt(const Message& m, const Seed& seed_sp,
                                   std::span<const u8> pk) const {
-  ring::PolyVec b;
-  Seed seed_a{};
-  unpack_pk(pk, b, seed_a);
-  const auto a = gen_matrix(seed_a, params_);
-  auto sp = gen_secret(seed_sp, params_);
-  SecretVecGuard guard_sp{sp};
-
-  // b' = round(A s' + h), packed into the ciphertext.
-  if (algo_) {
-    // One secret transform serves both the mod-q matrix product and the
-    // mod-p inner product (prepare_secret is qbits-independent).
-    const auto tsp = mult::prepare_secrets(sp, *algo_, kEq);
-    auto bp = mult::matrix_vector_mul(a, tsp, *algo_, kEq, /*transpose=*/false);
-    bp = round_q_to_p(std::move(bp));
-    const auto vp = mult::inner_product(b, tsp, *algo_, kEp);
-    return encrypt_core(m, std::move(bp), vp);
-  }
-  auto bp = ring::matrix_vector_mul(a, sp, mul_, kEq, /*transpose=*/false);
-  bp = round_q_to_p(std::move(bp));
-  const auto vp = ring::inner_product(b, sp, mul_, kEp);
-  return encrypt_core(m, std::move(bp), vp);
+  return flows::encrypt_flow(
+      m, std::span<const u8>(seed_sp), pk, params_,
+      [this](const ring::PolyMatrix& a, const ring::PolyVec& b,
+             const ring::SecretVec& sp) {
+        if (algo_) {
+          // One secret transform serves both the mod-q matrix product and
+          // the mod-p inner product (prepare_secret is qbits-independent).
+          const auto tsp = mult::prepare_secrets(sp, *algo_, kEq);
+          auto bp = mult::matrix_vector_mul(a, tsp, *algo_, kEq, /*transpose=*/false);
+          auto vp = mult::inner_product(b, tsp, *algo_, kEp);
+          return std::pair{std::move(bp), std::move(vp)};
+        }
+        return std::pair{ring::matrix_vector_mul(a, sp, mul_, kEq, /*transpose=*/false),
+                         ring::inner_product(b, sp, mul_, kEp)};
+      });
 }
 
 PreparedPublicKey SaberPke::prepare_pk(std::span<const u8> pk) const {
@@ -210,39 +108,21 @@ std::vector<u8> SaberPke::encrypt(const Message& m, const Seed& seed_sp,
   SABER_REQUIRE(static_cast<bool>(algo_),
                 "prepared encryption requires an owned multiplier (fast path)");
   auto sp = gen_secret(seed_sp, params_);
-  SecretVecGuard guard_sp{sp};
+  flows::SecretVecGuardT<i8> guard_sp{sp};
   // As in the unprepared path: transform the ephemeral secret once and share
   // it between A s' and <b, s'>.
   const auto tsp = mult::prepare_secrets(sp, *algo_, kEq);
   auto bp = mult::matrix_vector_mul(pk.a, tsp, *algo_, /*transpose=*/false);
-  bp = round_q_to_p(std::move(bp));
   const auto vp = mult::inner_product(pk.b, tsp, *algo_);
-  return encrypt_core(m, std::move(bp), vp);
+  return flows::encrypt_seal_g(m, std::move(bp), vp, params_);
 }
 
 Message SaberPke::decrypt(std::span<const u8> ct, std::span<const u8> sk) const {
-  SABER_REQUIRE(ct.size() == params_.ct_bytes(), "bad ciphertext length");
-  auto s = unpack_secret(sk);
-  SecretVecGuard guard_s{s};
-
-  ring::PolyVec bp(params_.l);
-  for (std::size_t i = 0; i < params_.l; ++i) {
-    bp[i] = ring::unpack_poly<kNn>(
-        ct.subspan(i * params_.poly_p_bytes(), params_.poly_p_bytes()), kEp);
-  }
-  const auto cm = ring::unpack_poly<kNn>(
-      ct.subspan(params_.l * params_.poly_p_bytes(), params_.poly_t_bytes()),
-      params_.et);
-
-  // m' = (v + h2 - 2^(ep-et) cm  mod p) >> (ep - 1), with v = b'^T s mod p.
-  const auto v = inner(bp, s, kEp);
-  ring::Poly mp;
-  for (std::size_t i = 0; i < kNn; ++i) {
-    const u32 val = static_cast<u32>(v[i]) + params_.h2() + (u32{1} << kEp) -
-                    (static_cast<u32>(cm[i]) << (kEp - params_.et));
-    mp[i] = static_cast<u16>(low_bits(val, kEp) >> (kEp - 1));
-  }
-  return poly_to_message(mp);
+  return flows::decrypt_flow(
+      ct, sk, params_,
+      [this](const ring::PolyVec& bp, const ring::SecretVec& s, unsigned qbits) {
+        return inner(bp, s, qbits);
+      });
 }
 
 }  // namespace saber::kem

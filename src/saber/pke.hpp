@@ -90,13 +90,10 @@ class SaberPke {
   void unpack_pk(std::span<const u8> pk, ring::PolyVec& b, Seed& seed_a) const;
 
  private:
-  ring::PolyVec round_q_to_p(ring::PolyVec v) const;
   ring::PolyVec mat_vec(const ring::PolyMatrix& a, const ring::SecretVec& s,
                         bool transpose) const;
   ring::Poly inner(const ring::PolyVec& b, const ring::SecretVec& s,
                    unsigned qbits) const;
-  std::vector<u8> encrypt_core(const Message& m, ring::PolyVec bp,
-                               const ring::Poly& vp) const;
 
   SaberParams params_;
   std::shared_ptr<const mult::PolyMultiplier> algo_;  ///< fast path when set

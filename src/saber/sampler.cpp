@@ -1,29 +1,9 @@
 #include "saber/sampler.hpp"
 
-#include "common/check.hpp"
-
 namespace saber::kem {
 
 ring::SecretPoly cbd_sample(std::span<const u8> buf, unsigned mu) {
-  SABER_REQUIRE(mu % 2 == 0 && mu >= 2 && mu <= 10, "unsupported binomial parameter");
-  SABER_REQUIRE(buf.size() == ring::kN * mu / 8, "sampler input length mismatch");
-  ring::SecretPoly s;
-  std::size_t bitpos = 0;
-  auto take_bits = [&](unsigned count) {
-    u32 v = 0;
-    for (unsigned b = 0; b < count; ++b, ++bitpos) {
-      v |= static_cast<u32>((buf[bitpos / 8] >> (bitpos % 8)) & 1u) << b;
-    }
-    return v;
-  };
-  const unsigned half = mu / 2;
-  for (std::size_t i = 0; i < ring::kN; ++i) {
-    const auto x = take_bits(half);
-    const auto y = take_bits(half);
-    s[i] = static_cast<i8>(static_cast<int>(popcount_low(x, half)) -
-                           static_cast<int>(popcount_low(y, half)));
-  }
-  return s;
+  return cbd_sample_g(buf, mu);
 }
 
 }  // namespace saber::kem

@@ -3,17 +3,50 @@
 // Each coefficient is HW(x) - HW(y) for independent (mu/2)-bit strings x, y
 // taken LSB-first from a SHAKE-128 output stream, giving values in
 // [-mu/2, mu/2] — the "smallness" every architecture in the paper exploits.
+//
+// The kernel is templated over the byte word type: the SHAKE output derives
+// from the secret seed, so under the ct_audit build the whole stream is
+// ct::Tainted<u8> and the sampled coefficients come out tainted. All bit
+// extraction and the popcount are branch-free in the data (bit positions are
+// loop counters, never values).
 #pragma once
 
 #include <span>
 
+#include "ct/tainted.hpp"
 #include "ring/poly.hpp"
 #include "saber/params.hpp"
 
 namespace saber::kem {
 
-/// Sample one secret polynomial from a bit stream. Consumes n*mu bits
-/// (= n*mu/8 bytes) from `buf`; `buf` must be exactly that long.
+/// Word-generic sampler core. Consumes n*mu bits (= n*mu/8 bytes) from
+/// `buf`; `buf` must be exactly that long.
+template <typename B>
+ring::SecretPolyT<ring::kN, ct::rebind_t<B, i8>> cbd_sample_g(std::span<const B> buf,
+                                                              unsigned mu) {
+  SABER_REQUIRE(mu % 2 == 0 && mu >= 2 && mu <= 10, "unsupported binomial parameter");
+  SABER_REQUIRE(buf.size() == ring::kN * mu / 8, "sampler input length mismatch");
+  ring::SecretPolyT<ring::kN, ct::rebind_t<B, i8>> s;
+  std::size_t bitpos = 0;
+  auto take_bits = [&](unsigned count) {
+    ct::rebind_t<B, u32> v{0};
+    for (unsigned b = 0; b < count; ++b, ++bitpos) {
+      v = ct::cast<u32>(v | (((ct::cast<u32>(buf[bitpos / 8]) >> (bitpos % 8)) & 1u)
+                             << b));
+    }
+    return v;
+  };
+  const unsigned half = mu / 2;
+  for (std::size_t i = 0; i < ring::kN; ++i) {
+    const auto x = take_bits(half);
+    const auto y = take_bits(half);
+    s[i] = ct::cast<i8>(ct::cast<i32>(ct::popcount_low_g(x, half)) -
+                        ct::cast<i32>(ct::popcount_low_g(y, half)));
+  }
+  return s;
+}
+
+/// Sample one secret polynomial from a plain bit stream (production API).
 ring::SecretPoly cbd_sample(std::span<const u8> buf, unsigned mu);
 
 }  // namespace saber::kem

@@ -1,124 +1,7 @@
 #include "sha3/keccak.hpp"
 
-#include <bit>
-
-#include "common/check.hpp"
-
 namespace saber::sha3 {
 
-namespace {
-
-// Round constants (FIPS 202 §3.2.5).
-constexpr u64 kRoundConstants[24] = {
-    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
-    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
-    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
-    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
-    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
-    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
-    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
-    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
-};
-
-// Rotation offsets for rho, indexed x + 5*y (FIPS 202 §3.2.2).
-constexpr unsigned kRho[25] = {
-    0,  1,  62, 28, 27,  //
-    36, 44, 6,  55, 20,  //
-    3,  10, 43, 25, 39,  //
-    41, 45, 15, 21, 8,   //
-    18, 2,  61, 56, 14,
-};
-
-}  // namespace
-
-void keccak_f1600(KeccakState& a) {
-  for (int round = 0; round < 24; ++round) {
-    // theta
-    u64 c[5];
-    for (int x = 0; x < 5; ++x) {
-      c[x] = a[static_cast<std::size_t>(x)] ^ a[static_cast<std::size_t>(x + 5)] ^
-             a[static_cast<std::size_t>(x + 10)] ^ a[static_cast<std::size_t>(x + 15)] ^
-             a[static_cast<std::size_t>(x + 20)];
-    }
-    u64 d[5];
-    for (int x = 0; x < 5; ++x) {
-      d[x] = c[(x + 4) % 5] ^ std::rotl(c[(x + 1) % 5], 1);
-    }
-    for (int y = 0; y < 5; ++y) {
-      for (int x = 0; x < 5; ++x) {
-        a[static_cast<std::size_t>(x + 5 * y)] ^= d[x];
-      }
-    }
-
-    // rho + pi: b[y, 2x+3y] = rotl(a[x, y], rho[x, y])
-    u64 b[25];
-    for (int y = 0; y < 5; ++y) {
-      for (int x = 0; x < 5; ++x) {
-        const int src = x + 5 * y;
-        const int dst = y + 5 * ((2 * x + 3 * y) % 5);
-        b[dst] = std::rotl(a[static_cast<std::size_t>(src)], static_cast<int>(kRho[src]));
-      }
-    }
-
-    // chi
-    for (int y = 0; y < 5; ++y) {
-      for (int x = 0; x < 5; ++x) {
-        a[static_cast<std::size_t>(x + 5 * y)] =
-            b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
-      }
-    }
-
-    // iota
-    a[0] ^= kRoundConstants[round];
-  }
-}
-
-Sponge::Sponge(std::size_t rate_bytes, u8 domain) : rate_(rate_bytes), domain_(domain) {
-  SABER_REQUIRE(rate_bytes > 0 && rate_bytes < 200 && rate_bytes % 8 == 0,
-                "sponge rate must be a positive multiple of 8 below 200");
-}
-
-void Sponge::reset() {
-  state_.fill(0);
-  absorb_pos_ = 0;
-  squeeze_pos_ = 0;
-  finalized_ = false;
-}
-
-void Sponge::permute_block() { keccak_f1600(state_); }
-
-void Sponge::absorb(std::span<const u8> data) {
-  SABER_REQUIRE(!finalized_, "absorb after finalize");
-  for (u8 byte : data) {
-    state_[absorb_pos_ / 8] ^= static_cast<u64>(byte) << (8 * (absorb_pos_ % 8));
-    if (++absorb_pos_ == rate_) {
-      permute_block();
-      absorb_pos_ = 0;
-    }
-  }
-}
-
-void Sponge::finalize() {
-  SABER_REQUIRE(!finalized_, "double finalize");
-  // Multi-rate padding: domain byte at the current position, 0x80 at the end
-  // of the block (they coincide when absorb_pos_ == rate_ - 1).
-  state_[absorb_pos_ / 8] ^= static_cast<u64>(domain_) << (8 * (absorb_pos_ % 8));
-  state_[(rate_ - 1) / 8] ^= u64{0x80} << (8 * ((rate_ - 1) % 8));
-  permute_block();
-  finalized_ = true;
-  squeeze_pos_ = 0;
-}
-
-void Sponge::squeeze(std::span<u8> out) {
-  if (!finalized_) finalize();
-  for (auto& byte : out) {
-    if (squeeze_pos_ == rate_) {
-      permute_block();
-      squeeze_pos_ = 0;
-    }
-    byte = static_cast<u8>(state_[squeeze_pos_ / 8] >> (8 * (squeeze_pos_ % 8)));
-    ++squeeze_pos_;
-  }
-}
+void keccak_f1600(KeccakState& state) { keccak_f1600_g(state); }
 
 }  // namespace saber::sha3

@@ -1,5 +1,9 @@
 // SHA-3 fixed-output hashes and SHAKE extendable-output functions (FIPS 202),
 // plus a SHAKE-based deterministic random source used by the KEM layer.
+//
+// The hash classes take an optional byte word type parameter `B`: production
+// uses the default plain u8, while the ct_audit build instantiates them over
+// ct::Tainted<u8> so hashing a secret taints every output byte.
 #pragma once
 
 #include <array>
@@ -12,15 +16,15 @@
 namespace saber::sha3 {
 
 /// Fixed-output SHA-3 instance. `DigestBytes` in {32, 64}.
-template <std::size_t DigestBytes>
+template <std::size_t DigestBytes, typename B = u8>
 class Sha3 {
  public:
   static constexpr std::size_t kDigestBytes = DigestBytes;
-  using Digest = std::array<u8, DigestBytes>;
+  using Digest = std::array<B, DigestBytes>;
 
   Sha3() : sponge_(200 - 2 * DigestBytes, 0x06) {}
 
-  Sha3& update(std::span<const u8> data) {
+  Sha3& update(std::span<const B> data) {
     sponge_.absorb(data);
     return *this;
   }
@@ -32,44 +36,44 @@ class Sha3 {
   }
 
   /// One-shot convenience.
-  static Digest hash(std::span<const u8> data) { return Sha3().update(data).digest(); }
+  static Digest hash(std::span<const B> data) { return Sha3().update(data).digest(); }
 
  private:
-  Sponge sponge_;
+  BasicSponge<B> sponge_;
 };
 
 using Sha3_256 = Sha3<32>;
 using Sha3_512 = Sha3<64>;
 
 /// SHAKE extendable-output function. `SecurityBits` in {128, 256}.
-template <std::size_t SecurityBits>
+template <std::size_t SecurityBits, typename B = u8>
 class Shake {
  public:
   Shake() : sponge_(200 - 2 * (SecurityBits / 8), 0x1f) {}
 
-  Shake& update(std::span<const u8> data) {
+  Shake& update(std::span<const B> data) {
     sponge_.absorb(data);
     return *this;
   }
 
   /// Squeeze `out.size()` bytes; can be called repeatedly for more output.
-  void squeeze(std::span<u8> out) { sponge_.squeeze(out); }
+  void squeeze(std::span<B> out) { sponge_.squeeze(out); }
 
-  std::vector<u8> squeeze_vec(std::size_t n) {
-    std::vector<u8> out(n);
+  std::vector<B> squeeze_vec(std::size_t n) {
+    std::vector<B> out(n);
     squeeze(out);
     return out;
   }
 
   /// One-shot convenience.
-  static std::vector<u8> hash(std::span<const u8> data, std::size_t out_bytes) {
+  static std::vector<B> hash(std::span<const B> data, std::size_t out_bytes) {
     Shake x;
     x.update(data);
     return x.squeeze_vec(out_bytes);
   }
 
  private:
-  Sponge sponge_;
+  BasicSponge<B> sponge_;
 };
 
 using Shake128 = Shake<128>;

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 
 #include "common/rng.hpp"
@@ -230,6 +231,55 @@ TEST(CheckedMultiplier, SampledPolicyChecksEveryNthProduct) {
     checked->multiply_secret(a, s, kQ);
   }
   EXPECT_EQ(checked->fault_counters().checks, 2u);  // products 0 and 4
+}
+
+// --- checked multiplier: concurrent monitor polling ------------------------
+
+// The FaultMonitor accessors must be safe to call from a monitoring thread
+// while a worker multiplies through the same instance — the supervisor's
+// status-polling pattern. Under the tsan preset this is the regression test
+// for the formerly unsynchronized mutable fault statistics; in any build the
+// pollers additionally assert the counter invariants every snapshot, so a
+// torn update that reorders checks/mismatches/recoveries is caught.
+TEST(CheckedMultiplier, MonitorPollingWhileMultiplyingIsThreadSafe) {
+  auto inj = injector_with({FaultSite::kProduct, FaultSpec::Kind::kTransient,
+                            /*bit=*/6, true, /*fire_at=*/5, 1, /*coeff=*/17});
+  CheckedMultiplier checked(
+      std::make_unique<FaultyPolyMultiplier>(mult::make_multiplier("karatsuba-8"), inj));
+
+  constexpr unsigned kIters = 48;
+  std::atomic<bool> done{false};
+  std::atomic<bool> consistent{true};
+  std::thread writer([&] {
+    Xoshiro256StarStar rng(327);
+    for (unsigned i = 0; i < kIters; ++i) {
+      const auto a = ring::Poly::random(rng, kQ);
+      const auto s = ring::SecretPoly::random(rng, 4);
+      checked.multiply_secret(a, s, kQ);
+    }
+    done.store(true);
+  });
+  std::vector<std::thread> pollers;
+  for (int t = 0; t < 3; ++t) {
+    pollers.emplace_back([&] {
+      while (!done.load()) {
+        const auto c = checked.fault_counters();
+        if (c.mismatches > c.checks || c.recoveries() > c.mismatches) {
+          consistent.store(false);
+        }
+        (void)checked.fault_log();
+      }
+    });
+  }
+  writer.join();
+  for (auto& p : pollers) p.join();
+
+  EXPECT_TRUE(consistent.load());
+  const auto c = checked.fault_counters();
+  EXPECT_EQ(c.checks, kIters);
+  EXPECT_EQ(c.mismatches, 1u);  // the one injected transient
+  EXPECT_EQ(c.retry_recoveries, 1u);
+  EXPECT_EQ(checked.fault_log().size(), 1u);
 }
 
 // --- checked multiplier: detection and recovery ----------------------------

@@ -86,7 +86,7 @@ TEST(MatrixUniformity, CoefficientsFillTheRangeEvenly) {
   for (std::size_t r = 0; r < 3; ++r) {
     for (std::size_t c = 0; c < 3; ++c) {
       for (std::size_t k = 0; k < ring::kN; ++k) {
-        counts[a.at(r, c)[k] * kBuckets / 8192]++;
+        counts[static_cast<std::size_t>(a.at(r, c)[k]) * kBuckets / 8192]++;
         ++total;
       }
     }
